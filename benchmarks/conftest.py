@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every paper figure/table has one benchmark module that regenerates it in
+quick (scaled-down, shape-preserving) mode via pytest-benchmark. Each
+experiment is seconds-to-minutes of simulation, so benchmarks run a
+single round with no warmup.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (fairness convergence, mixed incast)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(once):
+    res = once(fig3.run, quick=True)
+    r = res["results"]
+    uno, gemini, mprdma = r["uno"], r["gemini"], r["mprdma_bbr"]
+
+    # Paper shape: Uno converges (J > 0.9, sustained) within the window,
+    # while MPRDMA+BBR's steady state is deeply unfair (the two control
+    # loops fight — a momentary high-J startup sample is not convergence,
+    # hence the tail-index check).
+    assert uno["convergence_ms"] is not None
+    # The tail mean hovers just around the 0.9 convergence threshold
+    # while the AIMD sawtooth settles; 0.85 is comfortably above any
+    # non-converged state.
+    assert uno["final_jain"] > 0.85
+    assert uno["final_jain"] > mprdma["final_jain"]
+    assert mprdma["final_jain"] < 0.6
+    # The joint claim: Uno reaches fairness with a near-empty bottleneck
+    # queue, whereas Gemini's ECN loop sustains a large standing queue
+    # (its latency cost, visible throughout Figs 4/10). See EXPERIMENTS.md
+    # for the convergence-speed deviation note.
+    assert uno["queue_mean_kb"] < 0.25 * gemini["queue_mean_kb"]

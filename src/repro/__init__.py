@@ -1,0 +1,23 @@
+"""repro: a reproduction of "Uno: A One-Stop Solution for Inter- and
+Intra-Data Center Congestion Control and Reliable Connectivity" (SC '25).
+
+Public API highlights:
+
+- :class:`repro.sim.Simulator`, :class:`repro.sim.Network` — the
+  packet-level discrete-event simulator.
+- :class:`repro.topology.MultiDC` — the paper's two-DC fat-tree topology.
+- :func:`repro.core.start_uno_flow` — launch a flow under the full Uno
+  stack (UnoCC + UnoRC + UnoLB).
+- :mod:`repro.transport` — baseline transports (Gemini, MPRDMA, BBR,
+  DCTCP).
+- :mod:`repro.coding` — GF(256) Reed-Solomon erasure coding.
+- :mod:`repro.workloads` — flow-size distributions and traffic patterns.
+- :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from repro.core import UnoParams, start_uno_flow
+from repro.sim import Network, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulator", "Network", "UnoParams", "start_uno_flow", "__version__"]

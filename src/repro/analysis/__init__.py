@@ -1,0 +1,13 @@
+"""Result analysis: FCT statistics, slowdowns, fairness metrics."""
+
+from repro.analysis.fct import FCTSummary, ideal_fct_ps, slowdowns, summarize_fcts
+from repro.analysis.fairness import convergence_time_ps, jain_index
+
+__all__ = [
+    "FCTSummary",
+    "summarize_fcts",
+    "ideal_fct_ps",
+    "slowdowns",
+    "jain_index",
+    "convergence_time_ps",
+]

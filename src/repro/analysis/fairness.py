@@ -1,0 +1,59 @@
+"""Fairness metrics: Jain's index and time-to-convergence.
+
+The paper's Fig 3/8 fairness claims are about how quickly the per-flow
+sending rates of a mixed intra+inter incast converge to the fair share;
+we quantify that with Jain's index over rate samples and the first time
+the index stays above a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog."""
+    if not rates:
+        raise ValueError("need at least one rate")
+    if any(r < 0 for r in rates):
+        raise ValueError("rates cannot be negative")
+    total = sum(rates)
+    if total == 0:
+        return 1.0  # all-zero allocations are (vacuously) equal
+    sq = sum(r * r for r in rates)
+    return total * total / (len(rates) * sq)
+
+
+def jain_series(
+    rates_per_flow: Sequence[Sequence[float]],
+) -> List[float]:
+    """Jain's index at each sample instant, given per-flow rate series."""
+    if not rates_per_flow:
+        raise ValueError("need at least one flow")
+    n_samples = min(len(r) for r in rates_per_flow)
+    return [
+        jain_index([series[i] for series in rates_per_flow])
+        for i in range(n_samples)
+    ]
+
+
+def convergence_time_ps(
+    times_ps: Sequence[int],
+    rates_per_flow: Sequence[Sequence[float]],
+    threshold: float = 0.95,
+    hold_samples: int = 3,
+) -> Optional[int]:
+    """First time Jain's index reaches ``threshold`` and holds for
+    ``hold_samples`` consecutive samples; None if it never converges."""
+    if hold_samples < 1:
+        raise ValueError("hold_samples must be >= 1")
+    series = jain_series(rates_per_flow)
+    run = 0
+    for i, j in enumerate(series):
+        if j >= threshold:
+            run += 1
+            if run >= hold_samples:
+                return times_ps[i - hold_samples + 1]
+        else:
+            run = 0
+    return None

@@ -1,0 +1,15 @@
+"""Maximum Distance Separable (MDS) erasure coding for UnoRC.
+
+- :mod:`repro.coding.gf256` — vectorized GF(2^8) field arithmetic.
+- :mod:`repro.coding.reed_solomon` — systematic Reed-Solomon (n, k) codes
+  built from a Vandermonde matrix reduced to systematic form; any k of the
+  n symbols reconstruct the data (the MDS property the paper relies on).
+- :mod:`repro.coding.block` — block framing: splitting a byte stream into
+  (x data + y parity) packet blocks and reassembling it.
+"""
+
+from repro.coding.gf256 import GF256
+from repro.coding.reed_solomon import ReedSolomon
+from repro.coding.block import BlockCodec, BlockConfig
+
+__all__ = ["GF256", "ReedSolomon", "BlockCodec", "BlockConfig"]

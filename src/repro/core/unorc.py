@@ -1,0 +1,295 @@
+"""UnoRC: reliable connectivity via erasure-coded blocks (paper 4.2).
+
+Sender side (:class:`UnoRCSender`): each inter-DC message is cut into
+blocks of ``x`` data packets; after the last data packet of a block is
+first transmitted, ``y`` parity packets for that block are scheduled.
+A block is *complete* once the receiver provably holds the data — either
+every data packet was individually ACKed, or the receiver announced it
+decoded the block (block-complete ACK). The flow finishes when all blocks
+are complete; parity still in flight is then irrelevant, and parity (or
+data) packets still queued for a block that completed meanwhile are
+skipped rather than sent — they could no longer help the receiver.
+
+Receiver side (:class:`UnoRCReceiver`): ACKs every packet (congestion
+control feedback), tracks distinct block positions received, and arms a
+timer on each block's first packet set to the estimated maximum queuing +
+transmission delay. If the timer fires before ``x`` of the ``n`` packets
+arrived, the block is unrecoverable and a NACK is sent; the sender then
+retransmits the block's missing data packets and lets the load balancer
+reroute (Algorithm 2). If the block becomes decodable while some data
+packets are missing (recovered from parity), a block-complete ACK tells
+the sender not to wait for them.
+
+The payload-level decode itself is exercised by :mod:`repro.coding`; in
+the simulator blocks are tracked combinatorially (any ``x`` of ``n``
+distinct positions decode — the MDS property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.coding.block import BlockConfig
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.host import Host
+from repro.sim.packet import ACK, Packet, make_nack
+from repro.transport.base import Receiver, Sender
+
+BLOCK_COMPLETE_SEQ = -2  # control-ACK sentinel sequence
+_ACK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class UnoRCConfig:
+    block: BlockConfig = field(default_factory=BlockConfig)
+    block_timeout_ps: int = 0      # 0 = auto: the flow's base RTT
+    nack_backoff: float = 2.0
+    max_nacks_per_block: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nack_backoff < 1.0:
+            raise ValueError("nack backoff must be >= 1")
+        if self.max_nacks_per_block < 1:
+            raise ValueError("max_nacks_per_block must be >= 1")
+
+
+class UnoRCSender(Sender):
+    """Sender half of UnoRC: block framing, parity scheduling, NACK handling."""
+    def __init__(self, *args, rc: UnoRCConfig = UnoRCConfig(), **kwargs):
+        self.rc = rc
+        super().__init__(*args, **kwargs)
+        # Block state is lazy (dicts/sets keyed by block id): a 64 GiB
+        # flow has millions of blocks and preallocating per-block arrays
+        # dominates setup time.
+        self.n_blocks = rc.block.n_blocks(self.total_data_pkts)
+        self._block_data_acked: Dict[int, int] = {}
+        self._block_complete: Set[int] = set()
+        self._blocks_completed = 0
+        self._parity_queue: List[int] = []
+        self._parity_enqueued: Set[int] = set()
+
+    # -- sequence layout ---------------------------------------------------
+
+    def block_data_n(self, block_id: int) -> int:
+        """Data packets in ``block_id`` (the final block may be short)."""
+        return self.rc.block.data_pkts_in_block(block_id, self.total_data_pkts)
+
+    def parity_base(self, block_id: int) -> int:
+        return self.total_data_pkts + block_id * self.rc.block.parity_pkts
+
+    def block_of(self, seq: int) -> int:
+        if seq < self.total_data_pkts:
+            return seq // self.rc.block.data_pkts
+        return (seq - self.total_data_pkts) // self.rc.block.parity_pkts
+
+    # -- parity scheduling ---------------------------------------------------
+
+    def _decorate(self, pkt: Packet) -> None:
+        seq = pkt.seq
+        b = self.block_of(seq)
+        pkt.block_id = b
+        if seq < self.total_data_pkts:
+            pkt.block_pos = seq - b * self.rc.block.data_pkts
+            # Last data packet of the block sent for the first time:
+            # schedule this block's parity packets.
+            y = self.rc.block.parity_pkts
+            if (
+                y > 0
+                and b not in self._parity_enqueued
+                and pkt.retx == 0
+                and pkt.block_pos == self.block_data_n(b) - 1
+            ):
+                self._parity_enqueued.add(b)
+                base = self.parity_base(b)
+                self._parity_queue.extend(range(base, base + y))
+        else:
+            offset = (seq - self.total_data_pkts) % self.rc.block.parity_pkts
+            pkt.block_pos = self.block_data_n(b) + offset
+
+    def _codec_has_parity(self) -> bool:
+        return bool(self._parity_queue)
+
+    def _peek_parity(self) -> Optional[int]:
+        return self._parity_queue[0] if self._parity_queue else None
+
+    def _pop_parity(self) -> int:
+        return self._parity_queue.pop(0)
+
+    # -- block completion ------------------------------------------------------
+
+    def _after_ack(self, pkt: Packet) -> None:
+        seq = pkt.seq
+        if seq >= self.total_data_pkts:
+            return  # parity ACKs only feed congestion control
+        b = self.block_of(seq)
+        if b in self._block_complete:
+            return
+        acked = self._block_data_acked.get(b, 0) + 1
+        self._block_data_acked[b] = acked
+        if acked >= self.block_data_n(b):
+            self._complete_block(b)
+
+    def _on_control_ack(self, pkt: Packet) -> None:
+        if pkt.seq == BLOCK_COMPLETE_SEQ and pkt.block_id is not None:
+            self._complete_block(pkt.block_id)
+
+    def _complete_block(self, b: int) -> None:
+        if b >= self.n_blocks or b in self._block_complete:
+            return
+        self._block_complete.add(b)
+        self._block_data_acked.pop(b, None)
+        self._blocks_completed += 1
+        # Retire every unacked sequence of the block: the data is proven
+        # delivered (directly or decoded), so nothing needs retransmitting.
+        x = self.rc.block.data_pkts
+        y = self.rc.block.parity_pkts
+        seqs = list(range(b * x, b * x + self.block_data_n(b)))
+        base = self.parity_base(b)
+        seqs.extend(range(base, base + y))
+        for seq in seqs:
+            if seq in self.acked_seqs:
+                continue
+            sent = self.outstanding.pop(seq, None)
+            self.acked_seqs.add(seq)
+            if sent is not None:
+                if seq in self._lost_seqs:
+                    self._lost_seqs.discard(seq)  # bytes already retired
+                else:
+                    self.inflight_bytes -= sent.payload
+
+    def _all_delivered(self) -> bool:
+        return self._blocks_completed >= self.n_blocks
+
+    # -- NACK handling ------------------------------------------------------------
+
+    def _on_nack(self, pkt: Packet) -> None:
+        b = pkt.nack_block
+        if b is None or b >= self.n_blocks or b in self._block_complete:
+            return
+        self.stats.nacks_received += 1
+        x = self.rc.block.data_pkts
+        # Only retransmit copies old enough that they cannot merely be in
+        # flight or queued behind congestion: the NACK reflects what the
+        # receiver lacked ~one-way ago, so anything sent within the last
+        # smoothed RTT may still arrive on its own. Without this gate a
+        # congested incast produces a duplicate storm that collapses
+        # goodput for every flow sharing the bottleneck.
+        age_cutoff = self.sim.now - int(self.srtt_ps)
+        for seq in range(b * x, b * x + self.block_data_n(b)):
+            if seq in self.acked_seqs:
+                continue
+            sent = self.outstanding.get(seq)
+            if sent is None or sent.sent_ps <= age_cutoff:
+                self.queue_retransmit(seq)
+        self.path.on_nack_or_timeout(self)
+        self._maybe_send()
+
+
+class UnoRCReceiver(Receiver):
+    """Receiver half of UnoRC: block bookkeeping, timers, NACKs, block ACKs."""
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        rc: UnoRCConfig = UnoRCConfig(),
+    ):
+        super().__init__(sim, host, flow_id)
+        self.rc = rc
+        self._timeout_ps = rc.block_timeout_ps
+        self._total_data_pkts: Optional[int] = None
+        self._positions: Dict[int, Set[int]] = {}
+        self._complete: Set[int] = set()
+        self._timers: Dict[int, EventHandle] = {}
+        self._nack_counts: Dict[int, int] = {}
+        self.nacks_sent = 0
+        self.blocks_decoded_with_parity = 0
+        self._sender_src: Optional[int] = None
+
+    def attach_sender(self, sender: UnoRCSender) -> None:
+        """Learn the block layout from the sender (both endpoints are
+        created by the same harness; this mirrors a connection handshake)."""
+        self._total_data_pkts = sender.total_data_pkts
+        self._sender_src = sender.src.node_id
+        if self._timeout_ps <= 0:
+            self._timeout_ps = sender.base_rtt_ps
+
+    def _block_need(self, b: int) -> Optional[int]:
+        """Distinct packets required to decode block ``b``."""
+        if self._total_data_pkts is None:
+            return None
+        if b >= self.rc.block.n_blocks(self._total_data_pkts):
+            return None
+        return self.rc.block.data_pkts_in_block(b, self._total_data_pkts)
+
+    # ------------------------------------------------------------------
+
+    def handle_data(self, pkt: Packet) -> None:
+        self.send_ack(pkt)
+        b = pkt.block_id
+        if b is None or b in self._complete:
+            return
+        positions = self._positions.get(b)
+        if positions is None:
+            positions = set()
+            self._positions[b] = positions
+        positions.add(pkt.block_pos)
+        # (Re-)arm the block timer: it detects an *idle gap* — timeout
+        # with no further packets of an incomplete block — rather than
+        # absolute block age, so a window-limited sender pausing mid-block
+        # does not trigger spurious NACKs.
+        timer = self._timers.pop(b, None)
+        if timer is not None:
+            timer.cancel()
+        self._arm_timer(b)
+        need = self._block_need(b)
+        if need is not None and len(positions) >= need:
+            self._finish_block(b, positions, need)
+
+    def _finish_block(self, b: int, positions: Set[int], need: int) -> None:
+        self._complete.add(b)
+        timer = self._timers.pop(b, None)
+        if timer is not None:
+            timer.cancel()
+        missing_data = [p for p in range(need) if p not in positions]
+        del self._positions[b]
+        if missing_data:
+            # Data recovered from parity: tell the sender to stop waiting.
+            self.blocks_decoded_with_parity += 1
+            self._send_block_complete(b)
+
+    def _send_block_complete(self, b: int) -> None:
+        assert self._sender_src is not None, "receiver not attached"
+        ack = Packet(
+            ACK,
+            self.flow_id,
+            src=self.host.node_id,
+            dst=self._sender_src,
+            seq=BLOCK_COMPLETE_SEQ,
+            size=_ACK_SIZE,
+        )
+        ack.block_id = b
+        self.host.send(ack)
+
+    # -- block timer ------------------------------------------------------
+
+    def _arm_timer(self, b: int, scale: float = 1.0) -> None:
+        delay = int(self._timeout_ps * scale)
+        self._timers[b] = self.sim.after(delay, self._timer_fired, b)
+
+    def _timer_fired(self, b: int) -> None:
+        self._timers.pop(b, None)
+        if b in self._complete:
+            return
+        count = self._nack_counts.get(b, 0)
+        if count >= self.rc.max_nacks_per_block:
+            return  # give up NACKing; the sender's RTO is the backstop
+        self._nack_counts[b] = count + 1
+        self.nacks_sent += 1
+        assert self._sender_src is not None, "receiver not attached"
+        nack = make_nack(
+            self.flow_id, src=self.host.node_id, dst=self._sender_src, block_id=b
+        )
+        self.host.send(nack)
+        self._arm_timer(b, scale=self.rc.nack_backoff ** self._nack_counts[b])

@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each ``figN``/``tableN`` module exposes ``run(quick=True, seed=...)``
+returning a plain dict of results and a ``main()`` that prints the
+paper-vs-measured comparison. ``quick=True`` runs a scaled-down but
+shape-preserving configuration suitable for a laptop (see DESIGN.md's
+substitution notes); ``quick=False`` approaches the paper's scale.
+"""
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    FlowLauncher,
+    build_multidc,
+    make_launcher,
+    run_specs,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "FlowLauncher",
+    "build_multidc",
+    "make_launcher",
+    "run_specs",
+]

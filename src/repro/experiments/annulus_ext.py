@@ -1,0 +1,135 @@
+"""Extension experiment: Uno + Annulus near-source loop (paper footnote 4).
+
+An oversubscribed scenario: many hosts in DC0 each send one inter-DC flow,
+funneling through the 8 WAN links (aggregate demand > WAN capacity), so
+congestion builds at the border uplinks *inside the source DC*. The
+Annulus add-on signals that congestion back to the senders within an
+intra-DC RTT; plain Uno waits for the end-to-end ECN echo (one inter-DC
+RTT). Expectation: Annulus reduces drops at the hotspot and improves the
+inter-DC tail FCT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.fct import summarize_fcts
+from repro.coding.block import BlockConfig
+from repro.core.annulus import AnnulusConfig, AnnulusUnoCC, enable_qcn
+from repro.core.params import UnoParams
+from repro.core.unocc import UnoCCConfig
+from repro.core.unolb import UnoLB
+from repro.core.unorc import UnoRCConfig, UnoRCReceiver, UnoRCSender
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.report import print_experiment
+from repro.sim.engine import Simulator
+from repro.sim.switch import QCNConfig
+from repro.sim.units import MIB
+from repro.topology.multidc import MultiDC, MultiDCConfig
+
+
+def _cc(params: UnoParams, annulus: bool) -> AnnulusUnoCC:
+    config = UnoCCConfig(
+        alpha_frac_of_bdp=params.alpha_frac_of_bdp,
+        beta=params.qa_beta,
+        k_bytes=params.k_bytes,
+        epoch_period_ps=params.intra_rtt_ps,
+    )
+    if annulus:
+        return AnnulusUnoCC(config, AnnulusConfig())
+    # AnnulusUnoCC without QCN-armed switches never sees CNPs, but using
+    # the plain class keeps the comparison honest.
+    from repro.core.unocc import UnoCC
+
+    return UnoCC(config)
+
+
+def run_variant(annulus: bool, scale: ExperimentScale, flow_bytes: int,
+                seed: int) -> Dict:
+    """Oversubscribed-WAN run with or without the Annulus loop."""
+    sim = Simulator()
+    params = scale.params()
+    topo = MultiDC(
+        sim,
+        MultiDCConfig(
+            k=scale.k,
+            gbps=params.link_gbps,
+            n_border_links=max(2, scale.n_border_links // 2),  # oversubscribe
+            intra_rtt_ps=params.intra_rtt_ps,
+            inter_rtt_ps=params.inter_rtt_ps,
+            queue_bytes=params.queue_bytes,
+            red=params.red(),
+            phantom=params.phantom(),
+            seed=seed,
+        ),
+    )
+    if annulus:
+        enable_qcn(
+            topo.net,
+            QCNConfig(
+                threshold_bytes=params.queue_bytes // 2,
+                min_interval_ps=params.intra_rtt_ps,
+            ),
+        )
+    from repro.transport.base import start_flow
+
+    n = len(topo.hosts(0))
+    done = []
+    senders = []
+    rc = UnoRCConfig(block=BlockConfig(params.ec_data_pkts,
+                                       params.ec_parity_pkts))
+    for i in range(n):
+        src = topo.host(0, i)
+        dst = topo.host(1, i)
+        senders.append(start_flow(
+            sim, topo.net, _cc(params, annulus), src, dst, flow_bytes,
+            sender_cls=UnoRCSender, receiver_cls=UnoRCReceiver,
+            receiver_kwargs={"rc": rc}, rc=rc,
+            path=UnoLB(n_subflows=rc.block.block_pkts),
+            mss=params.mtu_bytes, base_rtt_ps=params.inter_rtt_ps,
+            line_gbps=params.link_gbps, is_inter_dc=True,
+            seed=seed * 100 + i, on_complete=done.append,
+        ))
+    sim.run(until=scale.horizon_ps)
+    if len(done) != n:
+        raise RuntimeError("annulus experiment: flows unfinished")
+    fct = summarize_fcts([s.stats for s in senders])
+    cnps = sum(sw.cnps_sent for sw in topo.net.switches)
+    return {
+        "fct_mean_ms": fct.mean_ms,
+        "fct_p99_ms": fct.p99_ms,
+        "drops": topo.net.total_drops(),
+        "cnps": cnps,
+    }
+
+
+def run(quick: bool = True, seed: int = 14) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
+    flow_bytes = 4 * MIB if quick else 64 * MIB
+    return {
+        "uno": run_variant(False, scale, flow_bytes, seed),
+        "uno+annulus": run_variant(True, scale, flow_bytes, seed),
+    }
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    rows = [
+        [k, f"{v['fct_mean_ms']:.2f}", f"{v['fct_p99_ms']:.2f}",
+         v["drops"], v["cnps"]]
+        for k, v in res.items()
+    ]
+    print_experiment(
+        "Extension: Annulus near-source loop on oversubscribed WAN uplinks",
+        "the fast near-source loop cuts hotspot drops; FCT comparable or "
+        "better (the paper left this add-on as future work)",
+        ["variant", "mean FCT ms", "p99 FCT ms", "drops", "CNPs"],
+        rows,
+    )
+    return res
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Shared runner for the realistic-workload experiments (Figs 10-12).
+
+Intra-DC traffic follows the Google web-search distribution, inter-DC
+traffic the Alibaba WAN distribution, mixed 4:1 with Poisson arrivals at
+a target load (paper 5.1). Quick mode scales flow sizes down by the
+experiment scale's ``size_scale`` (documented in EXPERIMENTS.md) to keep
+pure-Python runtimes tractable while preserving the distribution shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.fct import split_intra_inter, summarize_fcts
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_multidc,
+    make_launcher,
+    run_specs,
+)
+from repro.sim.engine import Simulator
+from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+from repro.workloads.generator import PoissonTraffic, TrafficConfig
+from repro.workloads.websearch import WEBSEARCH_CDF
+
+
+def run_realistic(
+    scheme: str,
+    load: float,
+    scale: ExperimentScale,
+    *,
+    seed: int,
+    duration_ps: int,
+    max_flows: Optional[int],
+    params_overrides: Optional[dict] = None,
+    border_queue_bytes: Optional[int] = None,
+) -> Dict:
+    """One (scheme, load) cell: returns intra/inter mean & p99 FCT."""
+    sim = Simulator()
+    params = scale.params(**(params_overrides or {}))
+    topo = build_multidc(
+        sim, scheme, params, scale, seed=seed,
+        border_queue_bytes=border_queue_bytes,
+    )
+    traffic = PoissonTraffic(
+        topo,
+        TrafficConfig(
+            load=load,
+            duration_ps=duration_ps,
+            intra_cdf=WEBSEARCH_CDF.scaled(scale.size_scale),
+            inter_cdf=ALIBABA_WAN_CDF.scaled(scale.size_scale),
+            max_flows=max_flows,
+            seed=seed,
+        ),
+    )
+    specs = traffic.generate()
+    launcher = make_launcher(scheme, sim, topo, params, seed=seed)
+    senders = run_specs(sim, specs, launcher, scale.horizon_ps)
+    stats = [s.stats for s in senders]
+    intra, inter = split_intra_inter(stats)
+    result: Dict = {
+        "scheme": scheme,
+        "load": load,
+        "n_flows": len(stats),
+        "overall": summarize_fcts(stats),
+        "drops": topo.net.total_drops(),
+        "params": params,
+        "topo_config": topo.config,
+    }
+    result["intra"] = summarize_fcts(intra) if intra else None
+    result["inter"] = summarize_fcts(inter) if inter else None
+    result["intra_stats"] = intra
+    result["inter_stats"] = inter
+    return result

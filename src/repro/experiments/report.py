@@ -1,0 +1,40 @@
+"""Plain-text reporting for experiment results (paper-vs-measured)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def print_experiment(title: str, expectation: str, headers, rows) -> None:
+    """Print one experiment's title, paper expectation, and result table."""
+    print(f"\n=== {title} ===")
+    print(f"paper expectation: {expectation}")
+    print(format_table(headers, rows))

@@ -1,0 +1,44 @@
+"""Run every paper experiment in sequence and print all the tables.
+
+Usage:
+    python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
+
+Quick mode (default) takes minutes on one core; --paper takes hours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+
+ALL = ["fig1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
+       "fig13", "table1", "ablations", "annulus_ext", "discussion_hpcc"]
+
+
+def main(argv=None) -> None:
+    """Parse arguments and run the selected experiments in order."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true",
+                        help="full paper-scale runs instead of quick mode")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated subset, e.g. fig3,table1")
+    args = parser.parse_args(argv)
+
+    targets = ALL
+    if args.only:
+        targets = [t.strip() for t in args.only.split(",") if t.strip()]
+        unknown = set(targets) - set(ALL)
+        if unknown:
+            parser.error(f"unknown experiments: {sorted(unknown)}")
+
+    quick = not args.paper
+    for name in targets:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.time()
+        module.main(quick=quick)
+        print(f"[{name} done in {time.time() - t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

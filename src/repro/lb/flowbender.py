@@ -1,0 +1,61 @@
+"""Flowbender [39]: flow-level adaptive rerouting on congestion.
+
+A precursor to PLB (the paper cites both): each flow keeps one path and
+re-hashes (here: picks a new entropy) when the fraction of ECN-marked
+ACKs over a window crosses a threshold, or on RTO. Unlike PLB it reacts
+after a single congested window rather than several consecutive ones —
+more aggressive repathing, more reordering churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transport.base import PathSelector, Sender
+
+
+@dataclass(frozen=True)
+class FlowbenderConfig:
+    ecn_threshold: float = 0.5   # congested-window mark fraction
+    window_acks: int = 32        # ACKs per decision window
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ecn_threshold <= 1.0):
+            raise ValueError("ecn_threshold outside (0, 1]")
+        if self.window_acks < 1:
+            raise ValueError("window_acks must be >= 1")
+
+
+class Flowbender(PathSelector):
+    """Flow-level repathing after one congested window or an RTO."""
+    def __init__(self, config: FlowbenderConfig = FlowbenderConfig()):
+        self.config = config
+        self._entropy = 0
+        self._acks = 0
+        self._marked = 0
+        self.repaths = 0
+
+    def on_init(self, sender: Sender) -> None:
+        self._entropy = sender.rng.getrandbits(16)
+
+    def entropy(self, sender: Sender, pkt: Packet) -> int:
+        return self._entropy
+
+    def on_ack(self, sender: Sender, pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        self._acks += 1
+        if ecn:
+            self._marked += 1
+        if self._acks < self.config.window_acks:
+            return
+        if self._marked / self._acks >= self.config.ecn_threshold:
+            self._repath(sender)
+        self._acks = 0
+        self._marked = 0
+
+    def on_nack_or_timeout(self, sender: Sender) -> None:
+        self._repath(sender)
+
+    def _repath(self, sender: Sender) -> None:
+        self._entropy = sender.rng.getrandbits(16)
+        self.repaths += 1

@@ -1,0 +1,75 @@
+"""PLB (Protective Load Balancing) [56].
+
+A flow keeps a single path (one entropy value) and *repaths* — picks a new
+random entropy — after K consecutive congested rounds, where a round is
+one RTT and "congested" means the round's fraction of ECN-marked ACKs
+exceeded a threshold. PLB also repaths on retransmission timeout.
+
+This reproduces the paper's observation (Fig 13B) that PLB "sticks to one
+path at a time", so a flaky link hurts whole blocks until PLB reacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transport.base import PathSelector, Sender
+
+
+@dataclass(frozen=True)
+class PLBConfig:
+    ecn_round_threshold: float = 0.5   # round is congested above this
+    congested_rounds_to_repath: int = 3
+    idle_rounds_reset: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0 < self.ecn_round_threshold <= 1):
+            raise ValueError("ecn_round_threshold outside (0, 1]")
+        if self.congested_rounds_to_repath < 1:
+            raise ValueError("need at least one congested round")
+
+
+class PLB(PathSelector):
+    """Single-path flow that repaths after K consecutive congested rounds."""
+    def __init__(self, config: PLBConfig = PLBConfig()):
+        self.config = config
+        self._entropy = 0
+        self._round_start_ps = 0
+        self._round_total = 0
+        self._round_marked = 0
+        self._congested_rounds = 0
+        self.repaths = 0
+
+    def on_init(self, sender: Sender) -> None:
+        self._entropy = sender.rng.getrandbits(16)
+        self._round_start_ps = sender.sim.now
+
+    def entropy(self, sender: Sender, pkt: Packet) -> int:
+        return self._entropy
+
+    def on_ack(self, sender: Sender, pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        self._round_total += 1
+        if ecn:
+            self._round_marked += 1
+        now = sender.sim.now
+        if now - self._round_start_ps < sender.base_rtt_ps:
+            return
+        frac = self._round_marked / max(1, self._round_total)
+        if frac >= self.config.ecn_round_threshold:
+            self._congested_rounds += 1
+            if self._congested_rounds >= self.config.congested_rounds_to_repath:
+                self._repath(sender)
+        else:
+            self._congested_rounds = 0
+        self._round_start_ps = now
+        self._round_total = 0
+        self._round_marked = 0
+
+    def on_nack_or_timeout(self, sender: Sender) -> None:
+        self._repath(sender)
+
+    def _repath(self, sender: Sender) -> None:
+        self._entropy = sender.rng.getrandbits(16)
+        self._congested_rounds = 0
+        self.repaths += 1

@@ -1,0 +1,126 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: a binary heap of ``(time, seq, handle)``
+entries where ``seq`` is a monotonically increasing tie-breaker so that
+events scheduled for the same picosecond fire in scheduling order. Handles
+support O(1) cancellation (the loop skips cancelled entries on pop), which
+is how retransmission timers and block timers are rescheduled cheaply.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """A scheduled callback; ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled timers don't pin packets/flows alive.
+        self.fn = _noop
+        self.args = ()
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """The event loop. ``now`` is the current time in integer picoseconds."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._seq: int = 0
+        self._n_executed: int = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: t={time} < now={self.now}"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, fn, *args)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the heap empties, ``until`` is reached, or
+        ``max_events`` have executed. Returns the number of events executed
+        by this call. After running with ``until``, ``now`` is advanced to
+        ``until`` even if the heap emptied earlier.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            time, _, handle = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            handle.fn(*handle.args)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and self.now < until and (
+            not heap or heap[0][0] > until
+        ):
+            self.now = until
+        self._n_executed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event; False if none remain."""
+        heap = self._heap
+        while heap:
+            time, _, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            handle.fn(*handle.args)
+            self._n_executed += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries (including cancelled tombstones)."""
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        return self._n_executed
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -1,0 +1,156 @@
+"""Failure injection: scheduled link failures and correlated random loss.
+
+The paper's section 2.4 measurement (Table 1) shows inter-DC losses are
+rare but *correlated* — within 10-packet blocks, multi-packet losses occur
+far more often than independence would predict. We reproduce that process
+with a two-state Gilbert-Elliott model: a mostly-lossless Good state and a
+lossy Bad state with geometric sojourn times. `calibrate_gilbert_elliott`
+fits (p_enter_bad, p_exit_bad, bad_loss) so the model's marginal loss rate
+and burstiness match a target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+    from repro.sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Per-packet two-state Markov loss process parameters."""
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name}={v} outside [0, 1]")
+
+    @property
+    def stationary_bad(self) -> float:
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        return self.p_good_to_bad / denom if denom > 0 else 0.0
+
+    @property
+    def marginal_loss_rate(self) -> float:
+        pb = self.stationary_bad
+        return pb * self.loss_bad + (1 - pb) * self.loss_good
+
+
+class GilbertElliottLoss:
+    """A link loss model implementing the Gilbert-Elliott process.
+
+    Instances are callables matching :data:`repro.sim.link.LossModel`;
+    the state advances once per packet traversing the link.
+    """
+
+    __slots__ = ("params", "_rng", "bad", "losses", "packets")
+
+    def __init__(self, params: GilbertElliottParams, seed: int = 0):
+        self.params = params
+        self._rng = random.Random(seed)
+        self.bad = False
+        self.losses = 0
+        self.packets = 0
+
+    def __call__(self, pkt: "Packet", now_ps: int) -> bool:
+        rng = self._rng
+        p = self.params
+        if self.bad:
+            if rng.random() < p.p_bad_to_good:
+                self.bad = False
+        else:
+            if rng.random() < p.p_good_to_bad:
+                self.bad = True
+        loss_p = p.loss_bad if self.bad else p.loss_good
+        self.packets += 1
+        lost = rng.random() < loss_p
+        if lost:
+            self.losses += 1
+        return lost
+
+
+def calibrate_gilbert_elliott(
+    target_loss_rate: float,
+    mean_burst_packets: float = 2.5,
+    loss_bad: float = 0.5,
+) -> GilbertElliottParams:
+    """Fit Gilbert-Elliott parameters to a marginal loss rate and a mean
+    loss-burst length (packets lost per Bad-state visit).
+
+    With loss-free Good state, a Bad visit of geometric length L
+    (mean 1/p_bad_to_good) loses ``loss_bad * L`` packets on average, so
+    ``p_bad_to_good = loss_bad / mean_burst_packets``. The stationary Bad
+    probability needed for the target marginal rate then gives
+    ``p_good_to_bad``.
+    """
+    if not (0.0 < target_loss_rate < 1.0):
+        raise ValueError("target loss rate must be in (0, 1)")
+    if mean_burst_packets < loss_bad:
+        raise ValueError("mean burst must be >= loss_bad (one packet min)")
+    p_exit = loss_bad / mean_burst_packets
+    pb = target_loss_rate / loss_bad  # stationary Bad-state probability
+    if pb >= 1.0:
+        raise ValueError("target loss rate too high for chosen loss_bad")
+    p_enter = pb * p_exit / (1.0 - pb)
+    return GilbertElliottParams(
+        p_good_to_bad=p_enter,
+        p_bad_to_good=p_exit,
+        loss_good=0.0,
+        loss_bad=loss_bad,
+    )
+
+
+class BernoulliLoss:
+    """Independent per-packet loss, for control experiments."""
+
+    __slots__ = ("p", "_rng", "losses", "packets")
+
+    def __init__(self, p: float, seed: int = 0):
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        self.p = p
+        self._rng = random.Random(seed)
+        self.losses = 0
+        self.packets = 0
+
+    def __call__(self, pkt: "Packet", now_ps: int) -> bool:
+        self.packets += 1
+        lost = self._rng.random() < self.p
+        if lost:
+            self.losses += 1
+        return lost
+
+
+def schedule_link_failure(
+    sim: "Simulator",
+    link: "Link",
+    fail_at_ps: int,
+    repair_after_ps: Optional[int] = None,
+) -> None:
+    """Fail ``link`` at ``fail_at_ps``; optionally repair after a delay."""
+    sim.at(fail_at_ps, link.fail)
+    if repair_after_ps is not None:
+        sim.at(fail_at_ps + repair_after_ps, link.restore)
+
+
+def schedule_bidirectional_failure(
+    sim: "Simulator",
+    link_ab: "Link",
+    link_ba: "Link",
+    fail_at_ps: int,
+    repair_after_ps: Optional[int] = None,
+) -> None:
+    """Fail both directions of a cable at once (a fiber cut)."""
+    schedule_link_failure(sim, link_ab, fail_at_ps, repair_after_ps)
+    schedule_link_failure(sim, link_ba, fail_at_ps, repair_after_ps)

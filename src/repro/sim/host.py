@@ -1,0 +1,85 @@
+"""End hosts.
+
+A host owns one uplink port per attached link (normally exactly one, to
+its edge switch) and a flow-endpoint registry: transport endpoints
+(senders and receivers) register under their flow id, and every packet
+arriving at the host is dispatched to the endpoint registered for its
+flow. Unknown flows are counted, not fatal — packets can legitimately
+arrive after a flow completed (e.g. duplicate retransmissions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Protocol, Tuple
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.queues import Port
+
+
+class Endpoint(Protocol):
+    """Anything registered on a host to receive packets for one flow."""
+    def on_packet(self, pkt: Packet) -> None: ...
+
+
+class Host:
+    """An end host: one NIC uplink port plus the per-flow endpoint registry."""
+    __slots__ = (
+        "sim",
+        "node_id",
+        "name",
+        "ports",
+        "endpoints",
+        "rx_pkts",
+        "orphan_pkts",
+        "dc",
+    )
+
+    def __init__(self, sim: "Simulator", node_id: int, name: str, dc: int = 0):
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+        self.dc = dc  # datacenter index this host lives in
+        self.ports: Dict[Tuple[int, int], "Port"] = {}
+        self.endpoints: Dict[int, Endpoint] = {}
+        self.rx_pkts = 0
+        self.orphan_pkts = 0
+
+    # -- endpoint registry -------------------------------------------------
+
+    def register(self, flow_id: int, endpoint: Endpoint) -> None:
+        if flow_id in self.endpoints:
+            raise ValueError(
+                f"flow {flow_id} already registered on host {self.name}"
+            )
+        self.endpoints[flow_id] = endpoint
+
+    def unregister(self, flow_id: int) -> None:
+        self.endpoints.pop(flow_id, None)
+
+    # -- datapath ----------------------------------------------------------
+
+    @property
+    def uplink(self) -> "Port":
+        """The host's single NIC egress port (asserts exactly one)."""
+        if len(self.ports) != 1:
+            raise RuntimeError(
+                f"host {self.name} has {len(self.ports)} ports; expected 1"
+            )
+        return next(iter(self.ports.values()))
+
+    def send(self, pkt: Packet) -> None:
+        self.uplink.enqueue(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        self.rx_pkts += 1
+        endpoint = self.endpoints.get(pkt.flow_id)
+        if endpoint is None:
+            self.orphan_pkts += 1
+            return
+        endpoint.on_packet(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} dc={self.dc} flows={len(self.endpoints)}>"

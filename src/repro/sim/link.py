@@ -1,0 +1,86 @@
+"""Unidirectional links: propagation delay, failures, and loss models.
+
+A :class:`Link` receives fully-serialized packets from its :class:`Port`
+and delivers them to the peer node after the propagation delay. Links can
+be administratively failed (dropping everything in flight and arriving,
+as a fiber cut would) and can carry a stochastic loss model such as the
+Gilbert-Elliott process used to reproduce the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+# A loss model maps (packet, now_ps) -> True when the packet is lost.
+LossModel = Callable[[Packet, int], bool]
+
+
+class Link:
+    """One direction of a cable: propagation delay, failure state, loss model."""
+    __slots__ = (
+        "sim",
+        "name",
+        "gbps",
+        "prop_ps",
+        "dst",
+        "up",
+        "loss_model",
+        "delivered_pkts",
+        "lost_pkts",
+        "failed_drops",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gbps: float,
+        prop_ps: int,
+        name: str = "",
+    ):
+        if gbps <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {gbps}")
+        if prop_ps < 0:
+            raise ValueError(f"negative propagation delay: {prop_ps}")
+        self.sim = sim
+        self.name = name
+        self.gbps = gbps
+        self.prop_ps = prop_ps
+        self.dst = None  # node with .receive(pkt); wired by Network
+        self.up = True
+        self.loss_model: Optional[LossModel] = None
+        self.delivered_pkts = 0
+        self.lost_pkts = 0
+        self.failed_drops = 0
+
+    def transmit(self, pkt: Packet) -> None:
+        """Called by the port when serialization completes."""
+        if not self.up:
+            self.failed_drops += 1
+            return
+        if self.loss_model is not None and self.loss_model(pkt, self.sim.now):
+            self.lost_pkts += 1
+            return
+        self.sim.after(self.prop_ps, self._deliver, pkt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        # A failure while the packet was in flight also kills it.
+        if not self.up:
+            self.failed_drops += 1
+            return
+        self.delivered_pkts += 1
+        self.dst.receive(pkt)
+
+    def fail(self) -> None:
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.gbps}Gbps prop={self.prop_ps}ps {state}>"

@@ -1,0 +1,216 @@
+"""Network container: nodes, links, and route computation.
+
+The :class:`Network` owns the simulator's node/link inventory, wires
+bidirectional links as pairs of unidirectional (Link, Port) couples, and
+precomputes next-hop tables at every switch with a breadth-first search
+per destination host. All equal-cost shortest-path next-hops are kept, so
+ECMP/spraying at every switch sees the full fan-out; **parallel links**
+between the same pair of nodes (the paper's eight border links) appear as
+multiple equal-cost ports and are load-balanced like any other multipath.
+
+Ports at each node are keyed by ``(neighbor_id, index)`` where ``index``
+counts parallel links to that neighbor.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.link import Link
+from repro.sim.queues import PhantomQueueConfig, Port, REDConfig
+from repro.sim.switch import Switch
+
+Node = Union[Host, Switch]
+PortKey = Tuple[int, int]  # (neighbor node id, parallel index)
+
+
+class Network:
+    """Owns nodes and links; wires ports and computes next-hop tables."""
+    def __init__(self, sim: Simulator, seed: int = 1):
+        self.sim = sim
+        self.nodes: List[Node] = []
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.links: List[Link] = []
+        self._by_name: Dict[str, Node] = {}
+        # adjacency: node id -> list of (neighbor id, port key)
+        self._adj: Dict[int, List[Tuple[int, PortKey]]] = {}
+        self._rng = random.Random(seed)
+        self._routes_built = False
+
+    # -- construction ------------------------------------------------------
+
+    def _register(self, node: Node) -> None:
+        if node.name in self._by_name:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        self._adj[node.node_id] = []
+
+    def add_host(self, name: str, dc: int = 0) -> Host:
+        host = Host(self.sim, node_id=len(self.nodes), name=name, dc=dc)
+        self._register(host)
+        self.hosts.append(host)
+        return host
+
+    def add_switch(self, name: str, mode: str = "ecmp") -> Switch:
+        node_id = len(self.nodes)
+        switch = Switch(
+            self.sim,
+            node_id=node_id,
+            name=name,
+            mode=mode,
+            salt=self._rng.getrandbits(63),
+            rng=random.Random(self._rng.getrandbits(63)),
+        )
+        self._register(switch)
+        self.switches.append(switch)
+        return switch
+
+    def _parallel_index(self, a: Node, b: Node) -> int:
+        return sum(1 for (nid, _idx) in a.ports if nid == b.node_id)
+
+    def add_link(
+        self,
+        a: Node,
+        b: Node,
+        gbps: float,
+        prop_ps: int,
+        queue_bytes: int,
+        red: Optional[REDConfig] = None,
+        phantom: Optional[PhantomQueueConfig] = None,
+        queue_bytes_ba: Optional[int] = None,
+        red_ba: Optional[REDConfig] = None,
+        phantom_ba: Optional[PhantomQueueConfig] = None,
+        asymmetric_marking: bool = False,
+    ) -> tuple[Link, Link]:
+        """Add a bidirectional link between ``a`` and ``b``.
+
+        Creates two unidirectional links with identical bandwidth and
+        propagation delay, each fed by an egress Port at its sending node.
+        The ``*_ba`` parameters override the b->a direction's queue size
+        and marking (used for host uplinks, whose NIC side never marks,
+        and for asymmetric intra/inter buffer experiments); they default
+        to the a->b settings unless ``asymmetric_marking`` is set, in
+        which case ``red_ba``/``phantom_ba`` are taken as given (possibly
+        None). Multiple calls for the same (a, b) create parallel links.
+        Returns (a->b, b->a).
+        """
+        if not asymmetric_marking:
+            red_ba = red if red_ba is None else red_ba
+            phantom_ba = phantom if phantom_ba is None else phantom_ba
+        self._routes_built = False
+        idx = self._parallel_index(a, b)
+        suffix = f"#{idx}" if idx else ""
+        link_ab = Link(self.sim, gbps, prop_ps, name=f"{a.name}->{b.name}{suffix}")
+        link_ba = Link(self.sim, gbps, prop_ps, name=f"{b.name}->{a.name}{suffix}")
+        link_ab.dst = b
+        link_ba.dst = a
+        port_ab = Port(
+            self.sim,
+            link_ab,
+            capacity_bytes=queue_bytes,
+            red=red,
+            phantom=phantom,
+            rng=random.Random(self._rng.getrandbits(63)),
+        )
+        port_ba = Port(
+            self.sim,
+            link_ba,
+            capacity_bytes=(
+                queue_bytes if queue_bytes_ba is None else queue_bytes_ba
+            ),
+            red=red_ba,
+            phantom=phantom_ba,
+            rng=random.Random(self._rng.getrandbits(63)),
+        )
+        key_ab: PortKey = (b.node_id, idx)
+        key_ba: PortKey = (a.node_id, idx)
+        a.ports[key_ab] = port_ab
+        b.ports[key_ba] = port_ba
+        self._adj[a.node_id].append((b.node_id, key_ab))
+        self._adj[b.node_id].append((a.node_id, key_ba))
+        self.links.extend((link_ab, link_ba))
+        return link_ab, link_ba
+
+    # -- lookup --------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def ports_between(self, a: Node, b: Node) -> List[Port]:
+        """All egress ports at ``a`` feeding links toward ``b``."""
+        return [
+            a.ports[key]
+            for key in sorted(k for k in a.ports if k[0] == b.node_id)
+        ]
+
+    def port_between(self, a: Node, b: Node, index: int = 0) -> Port:
+        ports = self.ports_between(a, b)
+        if not ports:
+            raise LookupError(f"no link {a.name}->{b.name}")
+        return ports[index]
+
+    def link_between(self, a: Node, b: Node, index: int = 0) -> Link:
+        """The index-th a->b unidirectional link."""
+        return self.port_between(a, b, index).link
+
+    # -- routing ---------------------------------------------------------------
+
+    def build_routes(self) -> None:
+        """Precompute equal-cost next-hop port tables at every switch.
+
+        For each destination host, BFS from the host over the (symmetric)
+        adjacency gives hop distances; every switch then points at all
+        ports toward neighbors one hop closer to the destination —
+        including all parallel links to such a neighbor.
+        """
+        id_to_node = {n.node_id: n for n in self.nodes}
+        for sw in self.switches:
+            sw.nexthops = {}
+        for host in self.hosts:
+            dist = {host.node_id: 0}
+            frontier = deque([host.node_id])
+            while frontier:
+                u = frontier.popleft()
+                du = dist[u]
+                for v, _key in self._adj[u]:
+                    if v not in dist:
+                        # Hosts never forward transit traffic.
+                        if isinstance(id_to_node[v], Host):
+                            continue
+                        dist[v] = du + 1
+                        frontier.append(v)
+            for sw in self.switches:
+                d = dist.get(sw.node_id)
+                if d is None:
+                    continue
+                ports = tuple(
+                    sw.ports[key]
+                    for v, key in self._adj[sw.node_id]
+                    if dist.get(v, -1) == d - 1
+                )
+                if ports:
+                    sw.nexthops[host.node_id] = ports
+        self._routes_built = True
+
+    def ensure_routes(self) -> None:
+        if not self._routes_built:
+            self.build_routes()
+
+    def total_drops(self) -> int:
+        drops = 0
+        for node in self.nodes:
+            for port in node.ports.values():
+                drops += port.drops
+        return drops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Network hosts={len(self.hosts)} switches={len(self.switches)} "
+            f"links={len(self.links)}>"
+        )

@@ -1,0 +1,277 @@
+"""Egress ports: drop-tail queues with RED ECN marking and phantom queues.
+
+A :class:`Port` is the egress queue a node (switch or host NIC) attaches to
+one of its outgoing links. It models:
+
+- a byte-bounded drop-tail FIFO;
+- RED ECN marking on *instantaneous* occupancy (paper section 5.1: never
+  mark below ``min_th`` = 25 % of capacity, always mark above ``max_th`` =
+  75 %, linear probability in between);
+- an optional **phantom queue** [HULL, NSDI'12]: a virtual byte counter
+  incremented on every enqueue and drained at a constant rate slightly
+  below line rate (paper default: 0.9x). When the phantom occupancy
+  exceeds its threshold, packets are ECN-marked even though the physical
+  queue may be empty — this is what lets UnoCC keep physical queues at
+  near-zero occupancy while still pacing inter-DC flows whose BDP exceeds
+  any physical buffer (paper sections 3.2, 4.1.3).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.packet import Packet
+from repro.sim.units import gbps_to_bytes_per_ps, ser_time_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+
+@dataclass(frozen=True)
+class REDConfig:
+    """RED ECN marking thresholds as fractions of queue capacity."""
+
+    min_frac: float = 0.25
+    max_frac: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.min_frac <= self.max_frac <= 1.0):
+            raise ValueError(
+                f"invalid RED thresholds: min={self.min_frac} max={self.max_frac}"
+            )
+
+
+@dataclass(frozen=True)
+class PhantomQueueConfig:
+    """Phantom queue parameters.
+
+    ``drain_fraction`` is the phantom drain rate as a fraction of the
+    physical line rate (paper default 0.9). Marking is RED-style on the
+    virtual occupancy, like the physical queue's: never below
+    ``mark_threshold_bytes``, always above ``max_frac_of_threshold`` times
+    it, linear in between. Probabilistic marking matters for the mixed
+    intra/inter equilibrium: a binary threshold makes the fast intra loop
+    park the occupancy exactly at the threshold and then every inter-DC
+    packet is marked, starving the slow loop.
+    """
+
+    drain_fraction: float = 0.9
+    mark_threshold_bytes: int = 100 * 1024
+    max_frac_of_threshold: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.drain_fraction <= 1.0):
+            raise ValueError(f"invalid drain fraction {self.drain_fraction}")
+        if self.mark_threshold_bytes <= 0:
+            raise ValueError("phantom threshold must be positive")
+        if self.max_frac_of_threshold < 1.0:
+            raise ValueError("max threshold must be >= min threshold")
+
+
+class PhantomQueue:
+    """Virtual queue: byte counter with constant-rate lazy draining."""
+
+    __slots__ = (
+        "occupancy",
+        "_drain_bytes_per_ps",
+        "_last_ps",
+        "min_th",
+        "max_th",
+        "_rng",
+    )
+
+    def __init__(self, config: PhantomQueueConfig, line_gbps: float,
+                 rng: Optional[random.Random] = None):
+        self.occupancy = 0.0
+        self._drain_bytes_per_ps = (
+            config.drain_fraction * gbps_to_bytes_per_ps(line_gbps)
+        )
+        self._last_ps = 0
+        self.min_th = float(config.mark_threshold_bytes)
+        self.max_th = config.max_frac_of_threshold * self.min_th
+        self._rng = rng or random.Random(0)
+
+    def _drain_to(self, now_ps: int) -> None:
+        elapsed = now_ps - self._last_ps
+        if elapsed > 0:
+            self.occupancy = max(
+                0.0, self.occupancy - elapsed * self._drain_bytes_per_ps
+            )
+            self._last_ps = now_ps
+
+    def on_enqueue(self, nbytes: int, now_ps: int) -> bool:
+        """Account an arrival; returns True if the packet should be marked."""
+        self._drain_to(now_ps)
+        self.occupancy += nbytes
+        occ = self.occupancy
+        if occ <= self.min_th:
+            return False
+        if occ >= self.max_th:
+            return True
+        span = self.max_th - self.min_th
+        p = (occ - self.min_th) / span if span > 0 else 1.0
+        return self._rng.random() < p
+
+    def occupancy_at(self, now_ps: int) -> float:
+        self._drain_to(now_ps)
+        return self.occupancy
+
+
+class Port:
+    """Egress queue + transmitter feeding one unidirectional link."""
+
+    __slots__ = (
+        "sim",
+        "link",
+        "name",
+        "capacity_bytes",
+        "red",
+        "phantom",
+        "_rng",
+        "_fifo",
+        "bytes_queued",
+        "_busy",
+        "drops",
+        "enqueued_pkts",
+        "marked_pkts",
+        "tx_bytes",
+        "monitor",
+        "int_t_ref_ps",
+        "_int_win_start",
+        "_int_win_bytes",
+        "_int_rate",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        link: "Link",
+        capacity_bytes: int,
+        red: Optional[REDConfig] = None,
+        phantom: Optional[PhantomQueueConfig] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "",
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.sim = sim
+        self.link = link
+        self.name = name or f"port->{link.name}"
+        self.capacity_bytes = capacity_bytes
+        self.red = red or REDConfig()
+        self._rng = rng or random.Random(0)
+        self.phantom = (
+            PhantomQueue(phantom, link.gbps,
+                         rng=random.Random(self._rng.getrandbits(63)))
+            if phantom is not None
+            else None
+        )
+        self._fifo: deque[Packet] = deque()
+        self.bytes_queued = 0
+        self._busy = False
+        self.drops = 0
+        self.enqueued_pkts = 0
+        self.marked_pkts = 0
+        self.tx_bytes = 0
+        self.monitor = None  # optional callable(port, event_str, pkt)
+        # In-band network telemetry (for HPCC-class transports): when
+        # enabled, every transmitted packet carries the max per-hop
+        # utilization U = qlen/(B*T) + txRate/B along its path.
+        self.int_t_ref_ps: Optional[int] = None
+        self._int_win_start = 0
+        self._int_win_bytes = 0
+        self._int_rate = 0.0  # bytes per ps over the last window
+
+    def enable_int(self, t_ref_ps: int) -> None:
+        """Turn on INT stamping with HPCC's base-RTT reference ``T``."""
+        if t_ref_ps <= 0:
+            raise ValueError("INT reference time must be positive")
+        self.int_t_ref_ps = t_ref_ps
+
+    # -- marking ---------------------------------------------------------
+
+    def _red_marks(self, occupancy_before: int) -> bool:
+        min_th = self.red.min_frac * self.capacity_bytes
+        max_th = self.red.max_frac * self.capacity_bytes
+        if occupancy_before < min_th:
+            return False
+        if occupancy_before >= max_th:
+            return True
+        span = max_th - min_th
+        p = (occupancy_before - min_th) / span if span > 0 else 1.0
+        return self._rng.random() < p
+
+    # -- datapath --------------------------------------------------------
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Offer a packet; returns False if it was tail-dropped."""
+        now = self.sim.now
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            if self.monitor is not None:
+                self.monitor(self, "drop", pkt)
+            return False
+        marked = self._red_marks(self.bytes_queued)
+        if self.phantom is not None:
+            marked = self.phantom.on_enqueue(pkt.size, now) or marked
+        if marked:
+            pkt.ecn = True
+            self.marked_pkts += 1
+        self.enqueued_pkts += 1
+        self._fifo.append(pkt)
+        self.bytes_queued += pkt.size
+        if not self._busy:
+            self._start_tx()
+        return True
+
+    def _start_tx(self) -> None:
+        pkt = self._fifo[0]
+        self._busy = True
+        ser = ser_time_ps(pkt.size, self.link.gbps)
+        self.sim.after(ser, self._finish_tx)
+
+    def _finish_tx(self) -> None:
+        pkt = self._fifo.popleft()
+        self.bytes_queued -= pkt.size
+        self.tx_bytes += pkt.size
+        if self.int_t_ref_ps is not None:
+            self._stamp_int(pkt)
+        self.link.transmit(pkt)
+        if self._fifo:
+            self._start_tx()
+        else:
+            self._busy = False
+
+    def _stamp_int(self, pkt: Packet) -> None:
+        t_ref = self.int_t_ref_ps
+        now = self.sim.now
+        self._int_win_bytes += pkt.size
+        elapsed = now - self._int_win_start
+        if elapsed >= t_ref:
+            self._int_rate = self._int_win_bytes / elapsed
+            self._int_win_start = now
+            self._int_win_bytes = 0
+        line_bytes_per_ps = gbps_to_bytes_per_ps(self.link.gbps)
+        util = (
+            self.bytes_queued / (line_bytes_per_ps * t_ref)
+            + self._int_rate / line_bytes_per_ps
+        )
+        if util > pkt.int_util:
+            pkt.int_util = util
+
+    # -- introspection ---------------------------------------------------
+
+    def occupancy_bytes(self) -> int:
+        return self.bytes_queued
+
+    def phantom_occupancy(self) -> float:
+        if self.phantom is None:
+            return 0.0
+        return self.phantom.occupancy_at(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Port {self.name} q={self.bytes_queued}B drops={self.drops}>"

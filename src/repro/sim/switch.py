@@ -1,0 +1,149 @@
+"""Switches: destination-based forwarding with ECMP or packet spraying.
+
+Each switch holds a precomputed next-hop table mapping destination host id
+to the tuple of equal-cost egress ports (built by
+:meth:`repro.sim.network.Network.build_routes`). Two selection modes:
+
+- ``"ecmp"``: a deterministic hash of the packet's
+  ``(src, dst, sport, dport)`` 5-tuple-equivalent, salted per switch.
+  Flows (and UnoLB/PLB subflows, which vary ``sport``) stick to one path;
+  hash collisions are faithfully reproduced.
+- ``"rps"``: uniform random egress per packet (Random Packet Spraying
+  [24], the paper's spraying baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from dataclasses import dataclass
+
+from repro.sim.packet import DATA, Packet, make_cnp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.queues import Port
+
+_M64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class QCNConfig:
+    """Annulus-style near-source notification (extension, paper footnote 4).
+
+    When a data packet is forwarded onto a port whose queue already holds
+    more than ``threshold_bytes``, the switch sends a CNP straight back to
+    the packet's source — a congestion signal that arrives within an
+    intra-DC RTT instead of an inter-DC one. Per-flow CNPs are spaced at
+    least ``min_interval_ps`` apart.
+    """
+
+    threshold_bytes: int = 128 * 1024
+    min_interval_ps: int = 10_000_000  # 10 us
+
+    def __post_init__(self) -> None:
+        if self.threshold_bytes <= 0:
+            raise ValueError("QCN threshold must be positive")
+        if self.min_interval_ps <= 0:
+            raise ValueError("QCN interval must be positive")
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: a fast, well-distributed integer hash."""
+    x &= _M64
+    x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCD & _M64
+    x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53 & _M64
+    return (x ^ (x >> 33)) & _M64
+
+
+def flow_hash(src: int, dst: int, sport: int, dport: int, salt: int) -> int:
+    """Deterministic ECMP hash over the flow identity plus a switch salt."""
+    key = (src << 48) ^ (dst << 32) ^ (sport << 16) ^ dport
+    return mix64(key ^ mix64(salt))
+
+
+class Switch:
+    """Forwards by destination host id over equal-cost ports (ECMP or spraying)."""
+    __slots__ = (
+        "sim",
+        "node_id",
+        "name",
+        "mode",
+        "salt",
+        "ports",
+        "nexthops",
+        "_rng",
+        "rx_pkts",
+        "qcn",
+        "_qcn_last_ps",
+        "cnps_sent",
+    )
+
+    MODES = ("ecmp", "rps")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        name: str,
+        mode: str = "ecmp",
+        salt: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown selection mode {mode!r}")
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+        self.mode = mode
+        self.salt = salt
+        self.ports: Dict[tuple, "Port"] = {}  # (neighbor id, idx) -> port
+        self.nexthops: Dict[int, Tuple["Port", ...]] = {}
+        self._rng = rng or random.Random(node_id)
+        self.rx_pkts = 0
+        self.qcn: Optional[QCNConfig] = None
+        self._qcn_last_ps: Dict[int, int] = {}  # flow id -> last CNP time
+        self.cnps_sent = 0
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown selection mode {mode!r}")
+        self.mode = mode
+
+    def receive(self, pkt: Packet) -> None:
+        self.rx_pkts += 1
+        pkt.hops += 1
+        choices = self.nexthops.get(pkt.dst)
+        if not choices:
+            raise LookupError(
+                f"switch {self.name} has no route to host {pkt.dst}"
+            )
+        if len(choices) == 1:
+            port = choices[0]
+        elif self.mode == "rps":
+            port = choices[self._rng.randrange(len(choices))]
+        else:
+            idx = flow_hash(pkt.src, pkt.dst, pkt.sport, pkt.dport, self.salt)
+            port = choices[idx % len(choices)]
+        if (
+            self.qcn is not None
+            and pkt.kind == DATA
+            and port.bytes_queued > self.qcn.threshold_bytes
+        ):
+            self._maybe_send_cnp(pkt)
+        port.enqueue(pkt)
+
+    def _maybe_send_cnp(self, pkt: Packet) -> None:
+        now = self.sim.now
+        last = self._qcn_last_ps.get(pkt.flow_id, -(1 << 62))
+        if now - last < self.qcn.min_interval_ps:
+            return
+        self._qcn_last_ps[pkt.flow_id] = now
+        self.cnps_sent += 1
+        cnp = make_cnp(pkt.flow_id, switch_src=self.node_id, dst=pkt.src)
+        # The CNP is forwarded like any packet, from this switch.
+        self.receive(cnp)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Switch {self.name} mode={self.mode} ports={len(self.ports)}>"

@@ -1,0 +1,96 @@
+"""Monitors: periodic sampling of queues and flow rates.
+
+These are the instrumentation the paper's plots need — queue occupancy
+over time (Fig 4), per-flow sending rates (Figs 3, 8) — implemented as
+self-rescheduling simulator events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.queues import Port
+
+
+class QueueMonitor:
+    """Samples a port's physical (and phantom) occupancy every interval."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        port: "Port",
+        interval_ps: int,
+        stop_ps: Optional[int] = None,
+    ):
+        if interval_ps <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.port = port
+        self.interval_ps = interval_ps
+        self.stop_ps = stop_ps
+        self.samples: List[Tuple[int, int, float]] = []  # (t, phys, phantom)
+        sim.after(0, self._sample)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        if self.stop_ps is not None and now > self.stop_ps:
+            return
+        self.samples.append(
+            (now, self.port.occupancy_bytes(), self.port.phantom_occupancy())
+        )
+        self.sim.after(self.interval_ps, self._sample)
+
+    def max_physical(self) -> int:
+        return max((s[1] for s in self.samples), default=0)
+
+    def mean_physical(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s[1] for s in self.samples) / len(self.samples)
+
+
+class RateMonitor:
+    """Samples goodput (acked bytes) of a set of flows every interval.
+
+    ``probe`` maps a flow object to its cumulative acked byte count; the
+    monitor differentiates between samples to produce rates in Gbps.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        flows: Sequence[object],
+        probe: Callable[[object], int],
+        interval_ps: int,
+        stop_ps: Optional[int] = None,
+    ):
+        if interval_ps <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.flows = list(flows)
+        self.probe = probe
+        self.interval_ps = interval_ps
+        self.stop_ps = stop_ps
+        self.times: List[int] = []
+        self.rates_gbps: List[List[float]] = [[] for _ in self.flows]
+        self._last = [0] * len(self.flows)
+        sim.after(interval_ps, self._sample)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        if self.stop_ps is not None and now > self.stop_ps:
+            return
+        self.times.append(now)
+        for i, flow in enumerate(self.flows):
+            cur = self.probe(flow)
+            delta = cur - self._last[i]
+            self._last[i] = cur
+            # bytes over interval_ps picoseconds -> Gbps
+            gbps = delta * 8 / (self.interval_ps / 1000.0)
+            self.rates_gbps[i].append(gbps)
+        self.sim.after(self.interval_ps, self._sample)
+
+    def series(self, i: int) -> Tuple[List[int], List[float]]:
+        return self.times, self.rates_gbps[i]

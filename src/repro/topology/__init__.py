@@ -1,0 +1,20 @@
+"""Topology builders.
+
+- :mod:`repro.topology.simple` — dumbbell and incast-star fixtures.
+- :mod:`repro.topology.fattree` — single k-ary fat-tree datacenter [5].
+- :mod:`repro.topology.multidc` — the paper's evaluation topology: two
+  fat-tree DCs joined by two border switches with parallel WAN links.
+"""
+
+from repro.topology.simple import dumbbell, incast_star
+from repro.topology.fattree import FatTree, FatTreeConfig
+from repro.topology.multidc import MultiDC, MultiDCConfig
+
+__all__ = [
+    "dumbbell",
+    "incast_star",
+    "FatTree",
+    "FatTreeConfig",
+    "MultiDC",
+    "MultiDCConfig",
+]

@@ -1,0 +1,100 @@
+"""Small fixed topologies for unit tests and microbenchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.queues import PhantomQueueConfig, Port, REDConfig
+from repro.sim.units import MIB, US
+
+# Host NICs buffer generously and never ECN-mark (marking happens in the
+# fabric); REDConfig(1.0, 1.0) can only mark at 100% occupancy, which a
+# successful enqueue never reaches.
+NO_MARKING = REDConfig(min_frac=1.0, max_frac=1.0)
+HOST_QUEUE_BYTES = 64 * MIB
+
+
+@dataclass
+class SimpleTopo:
+    net: Network
+    senders: list[Host]
+    receivers: list[Host]
+    bottleneck: Port  # the port whose queue the experiment watches
+
+
+def dumbbell(
+    sim: Simulator,
+    n_pairs: int,
+    gbps: float = 100.0,
+    prop_ps: int = 1 * US,
+    queue_bytes: int = 1 * MIB,
+    red: Optional[REDConfig] = None,
+    phantom: Optional[PhantomQueueConfig] = None,
+    bottleneck_gbps: Optional[float] = None,
+    seed: int = 1,
+) -> SimpleTopo:
+    """n sender hosts -- swL == swR -- n receiver hosts.
+
+    The swL->swR link is the shared bottleneck (optionally slower)."""
+    if n_pairs < 1:
+        raise ValueError("need at least one pair")
+    net = Network(sim, seed=seed)
+    sw_l = net.add_switch("swL")
+    sw_r = net.add_switch("swR")
+    senders = [net.add_host(f"s{i}") for i in range(n_pairs)]
+    receivers = [net.add_host(f"r{i}") for i in range(n_pairs)]
+    for h in senders:
+        net.add_link(h, sw_l, gbps, prop_ps, HOST_QUEUE_BYTES, red=NO_MARKING)
+    for h in receivers:
+        net.add_link(sw_r, h, gbps, prop_ps, queue_bytes, red=red, phantom=phantom)
+    net.add_link(
+        sw_l,
+        sw_r,
+        bottleneck_gbps or gbps,
+        prop_ps,
+        queue_bytes,
+        red=red,
+        phantom=phantom,
+    )
+    net.build_routes()
+    return SimpleTopo(
+        net=net,
+        senders=senders,
+        receivers=receivers,
+        bottleneck=net.port_between(sw_l, sw_r),
+    )
+
+
+def incast_star(
+    sim: Simulator,
+    n_senders: int,
+    gbps: float = 100.0,
+    prop_ps: int = 1 * US,
+    queue_bytes: int = 1 * MIB,
+    red: Optional[REDConfig] = None,
+    phantom: Optional[PhantomQueueConfig] = None,
+    seed: int = 1,
+) -> SimpleTopo:
+    """n senders -> one switch -> one receiver: the canonical incast.
+
+    The switch->receiver port is the bottleneck."""
+    if n_senders < 1:
+        raise ValueError("need at least one sender")
+    net = Network(sim, seed=seed)
+    sw = net.add_switch("sw")
+    receiver = net.add_host("recv")
+    senders = [net.add_host(f"s{i}") for i in range(n_senders)]
+    for h in senders:
+        net.add_link(h, sw, gbps, prop_ps, HOST_QUEUE_BYTES, red=NO_MARKING)
+    net.add_link(sw, receiver, gbps, prop_ps, queue_bytes, red=red, phantom=phantom)
+    net.build_routes()
+    return SimpleTopo(
+        net=net,
+        senders=senders,
+        receivers=[receiver],
+        bottleneck=net.port_between(sw, receiver),
+    )

@@ -1,0 +1,577 @@
+"""Reliable window-based transport substrate.
+
+The :class:`Sender`/:class:`Receiver` pair implements everything the
+paper's transports share, so each congestion-control algorithm is a small
+strategy object:
+
+- packetization of a ``size``-byte message into MSS-sized data packets;
+- a byte-based congestion window with optional NIC pacing;
+- per-packet ACKs carrying the data packet's ECN mark and send timestamp
+  (so the sender measures RTT across retransmissions correctly);
+- a lazy retransmission timer (one outstanding timer per flow, re-armed
+  against the oldest unacked packet's age);
+- optional erasure-coding block framing (UnoRC, wired in by
+  :mod:`repro.core.unorc`) via overridable hooks;
+- pluggable path selection (ECMP entropy, PLB, UnoLB) via
+  :class:`PathSelector`.
+
+Flow completion time is measured per the paper: from when the flow starts
+sending to when the sender learns the receiver holds the whole message
+(the last ACK).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.packet import ACK, CNP, DATA, NACK, Packet, make_ack
+from repro.sim.units import bdp_bytes, ser_time_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+DEFAULT_MSS = 4096  # paper: MTU 4096 B
+HEADER_BYTES = 64   # approximate header overhead carried on the wire
+
+
+class CongestionControl:
+    """Strategy interface. Implementations mutate ``sender.cwnd`` (bytes)
+    and may set ``sender.pacing_rate_gbps``. All hooks are optional."""
+
+    def on_init(self, sender: "Sender") -> None:
+        """Called once when the flow starts; set the initial window here."""
+
+    def on_ack(self, sender: "Sender", pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        """Called for every new (non-duplicate) ACK."""
+
+    def on_timeout(self, sender: "Sender") -> None:
+        """Called when the retransmission timer fires."""
+
+    def on_cnp(self, sender: "Sender", pkt: Packet) -> None:
+        """Called when a near-source congestion notification arrives
+        (Annulus extension; ignored by default)."""
+
+    def on_done(self, sender: "Sender") -> None:
+        """Called when the flow completes (cancel private timers here)."""
+
+
+class PathSelector:
+    """Chooses the entropy (source port) for outgoing packets and reacts
+    to delivery feedback. The default keeps one ECMP path per flow."""
+
+    def on_init(self, sender: "Sender") -> None: ...
+
+    def entropy(self, sender: "Sender", pkt: Packet) -> int:
+        return sender.flow_id & 0xFFFF
+
+    def on_ack(self, sender: "Sender", pkt: Packet, rtt_ps: int, ecn: bool) -> None: ...
+
+    def on_nack_or_timeout(self, sender: "Sender") -> None: ...
+
+
+class FixedEntropy(PathSelector):
+    """Single fixed entropy value: plain ECMP behaviour."""
+
+    def __init__(self, value: Optional[int] = None):
+        self._value = value
+
+    def on_init(self, sender: "Sender") -> None:
+        if self._value is None:
+            self._value = sender.rng.getrandbits(16)
+
+    def entropy(self, sender: "Sender", pkt: Packet) -> int:
+        return self._value
+
+
+@dataclass
+class SenderStats:
+    """Outcome record for one flow."""
+
+    flow_id: int = -1
+    size_bytes: int = 0
+    start_ps: int = 0
+    first_send_ps: Optional[int] = None
+    finish_ps: Optional[int] = None
+    bytes_acked: int = 0
+    data_pkts_sent: int = 0
+    parity_pkts_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    nacks_received: int = 0
+    is_inter_dc: bool = False
+
+    @property
+    def fct_ps(self) -> Optional[int]:
+        if self.finish_ps is None:
+            return None
+        return self.finish_ps - self.start_ps
+
+    @property
+    def done(self) -> bool:
+        return self.finish_ps is not None
+
+
+class Receiver:
+    """Plain receiver: ACK every data packet. Subclassed by UnoRC to add
+    erasure-coding block bookkeeping and NACKs."""
+
+    def __init__(self, sim: Simulator, host: Host, flow_id: int):
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.received_seqs: set[int] = set()
+        self.rx_data_pkts = 0
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind != DATA:
+            return
+        self.rx_data_pkts += 1
+        self.received_seqs.add(pkt.seq)
+        self.handle_data(pkt)
+
+    def handle_data(self, pkt: Packet) -> None:
+        self.send_ack(pkt)
+
+    def send_ack(self, pkt: Packet) -> None:
+        ack = make_ack(pkt, self.sim.now)
+        self.host.send(ack)
+
+
+class Sender:
+    """The sending endpoint of one flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        flow_id: int,
+        src: Host,
+        dst: Host,
+        size_bytes: int,
+        cc: CongestionControl,
+        *,
+        mss: int = DEFAULT_MSS,
+        base_rtt_ps: int = 14_000_000,  # paper default intra-DC RTT 14 us
+        line_gbps: float = 100.0,
+        path: Optional[PathSelector] = None,
+        on_complete: Optional[Callable[["Sender"], None]] = None,
+        rto_multiplier: float = 3.0,
+        min_rto_ps: int = 50_000_000,  # 50 us floor
+        seed: int = 0,
+        is_inter_dc: bool = False,
+        start_immediately: bool = False,
+    ):
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {size_bytes}")
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.sim = sim
+        self.net = net
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.cc = cc
+        self.mss = mss
+        self.base_rtt_ps = base_rtt_ps
+        self.line_gbps = line_gbps
+        self.bdp_bytes = bdp_bytes(base_rtt_ps, line_gbps)
+        self.path = path or FixedEntropy()
+        self.on_complete = on_complete
+        self.rng = random.Random(seed ^ (flow_id * 0x9E3779B9))
+        self.is_inter_dc = is_inter_dc
+
+        # Packetization: ceil(size / mss) packets, last may be short.
+        self.total_data_pkts = (size_bytes + mss - 1) // mss
+        self._next_seq = 0
+        self._next_parity_seq = self.total_data_pkts  # parity seqs follow data
+
+        # Reliability state.
+        self.outstanding: Dict[int, Packet] = {}  # seq -> last sent packet
+        self.inflight_bytes = 0
+        self.acked_seqs: set[int] = set()
+        self._retx_queue: list[int] = []
+        self._retx_set: set[int] = set()
+        # Sequences declared lost (queued for retransmit): their bytes are
+        # retired from inflight until the retransmission goes out.
+        self._lost_seqs: set[int] = set()
+
+        # Congestion state (mutated by the CC strategy).
+        self.cwnd: float = float(mss)
+        self.pacing_rate_gbps: Optional[float] = None
+        self.min_rtt_ps: Optional[int] = None
+        self.srtt_ps: float = float(base_rtt_ps)
+        self.rttvar_ps: float = base_rtt_ps / 4.0
+
+        # Pacing / timers.
+        self._next_pace_ps = 0
+        self._pace_handle: Optional[EventHandle] = None
+        self._rto_handle: Optional[EventHandle] = None
+        self.rto_multiplier = rto_multiplier
+        self.min_rto_ps = min_rto_ps
+
+        self.stats = SenderStats(
+            flow_id=flow_id,
+            size_bytes=size_bytes,
+            start_ps=sim.now,
+            is_inter_dc=is_inter_dc,
+        )
+        self._done = False
+
+        if start_immediately:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.stats.start_ps = self.sim.now
+        self.cc.on_init(self)
+        self.path.on_init(self)
+        self._arm_rto()
+        self._maybe_send()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def rto_ps(self) -> int:
+        """RFC6298-style: srtt + 4*rttvar, scaled and floored. The
+        variance term prevents spurious timeouts when congestion inflates
+        RTTs faster than the smoothed estimate tracks them."""
+        base = self.srtt_ps + 4.0 * self.rttvar_ps
+        return max(self.min_rto_ps, int(self.rto_multiplier * base))
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def payload_of(self, seq: int) -> int:
+        """Payload bytes carried by data packet ``seq`` (last may be short).
+        Parity sequences carry a full MSS."""
+        if seq >= self.total_data_pkts:
+            return self.mss
+        if seq == self.total_data_pkts - 1:
+            rem = self.size_bytes - seq * self.mss
+            return rem if rem > 0 else self.mss
+        return self.mss
+
+    def _has_work(self) -> bool:
+        return bool(self._retx_queue) or self._has_new_data()
+
+    def _has_new_data(self) -> bool:
+        return self._next_seq < self.total_data_pkts or self._codec_has_parity()
+
+    def _codec_has_parity(self) -> bool:
+        """Overridden by the UnoRC sender when parity is pending."""
+        return False
+
+    def _window_allows(self, nbytes: int) -> bool:
+        return self.inflight_bytes + nbytes <= self.cwnd
+
+    def _pace_wakeup(self) -> None:
+        self._pace_handle = None
+        self._maybe_send()
+
+    def _maybe_send(self) -> None:
+        """Send as much as window + pacing allow; self-reschedules.
+
+        Retransmissions obey the window like any other send: their lost
+        copies were retired from ``inflight_bytes`` when declared lost.
+        At most one pacing wakeup is ever outstanding (tracked by
+        ``_pace_handle``) — re-scheduling one per ACK would accumulate
+        wakeups without bound under steady ACK clocking.
+        """
+        while True:
+            seq = self._peek_next()
+            if seq is None:
+                return
+            if seq in self.acked_seqs:
+                # Retired while queued (e.g. by a UnoRC block-complete
+                # ACK before this packet was ever sent): never emit it.
+                self._pop_next()
+                continue
+            payload = self.payload_of(seq)
+            if not self._window_allows(payload):
+                return  # an ACK will retrigger us
+            now = self.sim.now
+            if self.pacing_rate_gbps and self._next_pace_ps > now:
+                if self._pace_handle is None:
+                    self._pace_handle = self.sim.at(
+                        self._next_pace_ps, self._pace_wakeup
+                    )
+                return
+            self._emit(self._pop_next())
+
+    def _peek_next(self) -> Optional[int]:
+        # Purge retransmission entries that were acked while queued.
+        while self._retx_queue and self._retx_queue[0] in self.acked_seqs:
+            self._retx_set.discard(self._retx_queue.pop(0))
+        if self._retx_queue:
+            return self._retx_queue[0]
+        if self._next_seq < self.total_data_pkts:
+            return self._next_seq
+        return self._peek_parity()
+
+    def _peek_parity(self) -> Optional[int]:
+        """Overridden by the UnoRC sender."""
+        return None
+
+    def _pop_next(self) -> int:
+        if self._retx_queue:
+            seq = self._retx_queue.pop(0)
+            self._retx_set.discard(seq)
+            return seq
+        if self._next_seq < self.total_data_pkts:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+        return self._pop_parity()
+
+    def _pop_parity(self) -> int:  # pragma: no cover - only via UnoRC
+        raise RuntimeError("no parity scheduled")
+
+    def _emit(self, seq: int) -> None:
+        now = self.sim.now
+        payload = self.payload_of(seq)
+        pkt = Packet(
+            DATA,
+            self.flow_id,
+            src=self.src.node_id,
+            dst=self.dst.node_id,
+            seq=seq,
+            size=payload + HEADER_BYTES,
+            payload=payload,
+        )
+        is_retx = seq in self.outstanding
+        if is_retx:
+            pkt.retx = self.outstanding[seq].retx + 1
+            self.stats.retransmissions += 1
+        pkt.sent_ps = now
+        self._decorate(pkt)
+        pkt.sport = self.path.entropy(self, pkt)
+        pkt.dport = self.flow_id & 0xFFFF
+        if not is_retx:
+            self.inflight_bytes += payload
+        elif seq in self._lost_seqs:
+            # The retransmitted copy is on the wire again.
+            self._lost_seqs.discard(seq)
+            self.inflight_bytes += payload
+        self.outstanding[seq] = pkt
+        if self.stats.first_send_ps is None:
+            self.stats.first_send_ps = now
+        if seq >= self.total_data_pkts:
+            self.stats.parity_pkts_sent += 1
+        else:
+            self.stats.data_pkts_sent += 1
+        if self.pacing_rate_gbps:
+            gap = ser_time_ps(pkt.size, self.pacing_rate_gbps)
+            self._next_pace_ps = max(self._next_pace_ps, now) + gap
+        self.src.send(pkt)
+
+    def _decorate(self, pkt: Packet) -> None:
+        """Hook for UnoRC to stamp block_id/block_pos on data packets."""
+
+    # ------------------------------------------------------------------
+    # receiving feedback
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if self._done:
+            return
+        if pkt.kind == ACK:
+            self._on_ack(pkt)
+        elif pkt.kind == NACK:
+            self._on_nack(pkt)
+        elif pkt.kind == CNP:
+            self.cc.on_cnp(self, pkt)
+            self._maybe_send()
+
+    def _on_ack(self, pkt: Packet) -> None:
+        seq = pkt.seq
+        if seq < 0:
+            # Control ACK (e.g. UnoRC block-complete); no per-seq state.
+            self._on_control_ack(pkt)
+            if not self._check_done():
+                self._maybe_send()
+            return
+        if seq in self.acked_seqs or seq not in self.outstanding:
+            return  # duplicate or stale
+        sent = self.outstanding.pop(seq)
+        self.acked_seqs.add(seq)
+        payload = sent.payload
+        if seq in self._lost_seqs:
+            # Declared lost but the original copy arrived after all; its
+            # bytes were already retired from inflight.
+            self._lost_seqs.discard(seq)
+        else:
+            self.inflight_bytes -= payload
+        self.stats.bytes_acked += payload
+        rtt = self.sim.now - pkt.echo_sent_ps
+        if rtt > 0:
+            if self.min_rtt_ps is None or rtt < self.min_rtt_ps:
+                self.min_rtt_ps = rtt
+            self.rttvar_ps += 0.25 * (abs(rtt - self.srtt_ps) - self.rttvar_ps)
+            self.srtt_ps += 0.125 * (rtt - self.srtt_ps)
+        self.cc.on_ack(self, pkt, rtt, pkt.ecn_echo)
+        self.cwnd = max(self.cwnd, float(self.mss))
+        self.path.on_ack(self, pkt, rtt, pkt.ecn_echo)
+        self._after_ack(pkt)
+        if self._check_done():
+            return
+        self._maybe_send()
+
+    def _after_ack(self, pkt: Packet) -> None:
+        """Hook for UnoRC block bookkeeping on the sender side."""
+
+    def _on_control_ack(self, pkt: Packet) -> None:
+        """Hook for UnoRC block-complete ACKs (negative sequence)."""
+
+    def _on_nack(self, pkt: Packet) -> None:
+        """Only meaningful for UnoRC flows; ignored here."""
+
+    # ------------------------------------------------------------------
+    # retransmission timer
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+        self._rto_handle = self.sim.after(self.rto_ps, self._rto_check)
+
+    def _rto_check(self) -> None:
+        self._rto_handle = None
+        if self._done:
+            return
+        if not self.outstanding:
+            self._arm_rto()
+            return
+        oldest = min(p.sent_ps for p in self.outstanding.values())
+        age = self.sim.now - oldest
+        rto = self.rto_ps
+        if age < rto:
+            self._rto_handle = self.sim.after(rto - age, self._rto_check)
+            return
+        self._handle_timeout()
+        self._arm_rto()
+
+    def _handle_timeout(self) -> None:
+        self.stats.timeouts += 1
+        # Re-queue every expired unacked packet exactly once.
+        cutoff = self.sim.now - self.rto_ps
+        for seq, pkt in list(self.outstanding.items()):
+            if pkt.sent_ps <= cutoff:
+                self.queue_retransmit(seq)
+        self.cc.on_timeout(self)
+        self.cwnd = max(self.cwnd, float(self.mss))
+        self.path.on_nack_or_timeout(self)
+        self._maybe_send()
+
+    def queue_retransmit(self, seq: int) -> None:
+        """Declare ``seq`` lost and schedule its retransmission (RTO and
+        UnoRC NACKs). The lost copy's bytes leave the inflight account."""
+        if seq in self.acked_seqs or self._done:
+            return
+        if seq not in self._retx_set:
+            self._retx_queue.append(seq)
+            self._retx_set.add(seq)
+        if seq not in self._lost_seqs and seq in self.outstanding:
+            self._lost_seqs.add(seq)
+            self.inflight_bytes -= self.outstanding[seq].payload
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    def _all_delivered(self) -> bool:
+        """Every data packet acked. UnoRC overrides with block coverage."""
+        if len(self.acked_seqs) < self.total_data_pkts:
+            return False
+        return all(s in self.acked_seqs for s in range(self.total_data_pkts))
+
+    def _check_done(self) -> bool:
+        if self._done or not self._all_delivered():
+            return False
+        self._done = True
+        self.stats.finish_ps = self.sim.now
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+        if self._pace_handle is not None:
+            self._pace_handle.cancel()
+            self._pace_handle = None
+        self.cc.on_done(self)
+        self.src.unregister(self.flow_id)
+        self.dst.unregister(self.flow_id)
+        if self.on_complete is not None:
+            self.on_complete(self)
+        return True
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def rate_estimate_gbps(self) -> float:
+        """cwnd / sRTT expressed in Gbps (used for pacing-style CCs)."""
+        if self.srtt_ps <= 0:
+            return self.line_gbps
+        return min(self.line_gbps * 4, self.cwnd * 8000.0 / self.srtt_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Sender flow={self.flow_id} {self.src.name}->{self.dst.name} "
+            f"size={self.size_bytes} cwnd={int(self.cwnd)} "
+            f"acked={self.stats.bytes_acked}>"
+        )
+
+
+def start_flow(
+    sim: Simulator,
+    net: Network,
+    cc: CongestionControl,
+    src: Host,
+    dst: Host,
+    size_bytes: int,
+    *,
+    flow_id: Optional[int] = None,
+    start_ps: Optional[int] = None,
+    receiver_cls: type = Receiver,
+    sender_cls: type = Sender,
+    receiver_kwargs: Optional[dict] = None,
+    **sender_kwargs,
+) -> Sender:
+    """Create and register a sender/receiver pair and schedule its start.
+
+    This is the single entry point experiments and examples use to launch
+    flows; UnoRC passes its own sender/receiver classes.
+    """
+    net.ensure_routes()
+    if flow_id is None:
+        flow_id = _alloc_flow_id(net)
+    receiver = receiver_cls(sim, dst, flow_id, **(receiver_kwargs or {}))
+    sender = sender_cls(
+        sim, net, flow_id, src, dst, size_bytes, cc, **sender_kwargs
+    )
+    if receiver_cls is not Receiver or hasattr(receiver, "attach_sender"):
+        attach = getattr(receiver, "attach_sender", None)
+        if attach is not None:
+            attach(sender)
+    src.register(flow_id, sender)
+    dst.register(flow_id, receiver)
+    sender.receiver = receiver  # type: ignore[attr-defined]
+    when = sim.now if start_ps is None else start_ps
+    sender.stats.start_ps = when
+    sim.at(when, sender.start)
+    return sender
+
+
+def _alloc_flow_id(net: Network) -> int:
+    counter = getattr(net, "_flow_counter", 0) + 1
+    net._flow_counter = counter  # type: ignore[attr-defined]
+    return counter

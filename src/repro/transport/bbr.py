@@ -1,0 +1,130 @@
+"""BBR [20], simplified: model-based pacing from (btlbw, RTprop).
+
+This is the inter-DC half of the paper's MPRDMA+BBR baseline. We keep the
+defining structure of BBRv1 — a windowed-max bottleneck-bandwidth filter,
+a windowed-min propagation-delay filter, STARTUP/DRAIN and the 8-phase
+ProbeBW pacing-gain cycle — while estimating delivery rate from acked
+bytes per RTprop interval rather than per-packet rate samples (adequate at
+simulator fidelity and much cheaper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transport.base import CongestionControl, Sender
+
+STARTUP = 0
+DRAIN = 1
+PROBE_BW = 2
+
+_STARTUP_GAIN = 2.885
+_PROBE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class BBRConfig:
+    init_cwnd_pkts: int = 10
+    bw_window_samples: int = 10     # max-filter length (in RTprop intervals)
+    startup_full_bw_thresh: float = 1.25
+    startup_full_bw_rounds: int = 3
+    cwnd_gain: float = 2.0
+    min_cwnd_pkts: int = 4
+
+
+class BBR(CongestionControl):
+    """BBRv1-style model-based rate control (see module docstring)."""
+    def __init__(self, config: BBRConfig = BBRConfig()):
+        self.config = config
+        self.state = STARTUP
+        self.btlbw_gbps = 0.0
+        self._bw_samples: deque[float] = deque(maxlen=config.bw_window_samples)
+        self._delivered_bytes = 0
+        self._last_sample_ps = 0
+        self._last_sample_delivered = 0
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._cycle_index = 0
+        self._cycle_start_ps = 0
+        self.pacing_gain = _STARTUP_GAIN
+
+    # -- helpers ----------------------------------------------------------
+
+    def _rtprop_ps(self, sender: Sender) -> int:
+        return sender.min_rtt_ps or sender.base_rtt_ps
+
+    def _update_model(self, sender: Sender) -> None:
+        cfg = self.config
+        rtprop = self._rtprop_ps(sender)
+        bw = max(self.btlbw_gbps, 1e-3)
+        sender.pacing_rate_gbps = min(
+            sender.line_gbps, self.pacing_gain * bw
+        )
+        bdp = bw * rtprop / 8000.0  # bytes
+        sender.cwnd = max(
+            cfg.min_cwnd_pkts * sender.mss, cfg.cwnd_gain * bdp
+        )
+
+    # -- CongestionControl ------------------------------------------------
+
+    def on_init(self, sender: Sender) -> None:
+        cfg = self.config
+        sender.cwnd = float(cfg.init_cwnd_pkts * sender.mss)
+        # Initial guess: init window over the RTT hint.
+        self.btlbw_gbps = sender.cwnd * 8000.0 / sender.base_rtt_ps
+        self._last_sample_ps = sender.sim.now
+        self._cycle_start_ps = sender.sim.now
+        sender.pacing_rate_gbps = min(
+            sender.line_gbps, _STARTUP_GAIN * self.btlbw_gbps
+        )
+
+    def on_ack(self, sender: Sender, pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        now = sender.sim.now
+        self._delivered_bytes += pkt.payload
+        rtprop = self._rtprop_ps(sender)
+
+        # One delivery-rate sample per RTprop.
+        elapsed = now - self._last_sample_ps
+        if elapsed >= rtprop:
+            delta = self._delivered_bytes - self._last_sample_delivered
+            sample_gbps = delta * 8000.0 / elapsed
+            self._bw_samples.append(sample_gbps)
+            self.btlbw_gbps = max(self._bw_samples)
+            self._last_sample_ps = now
+            self._last_sample_delivered = self._delivered_bytes
+            self._round(sender)
+        self._update_model(sender)
+
+    def _round(self, sender: Sender) -> None:
+        """Advance the state machine once per bandwidth sample."""
+        cfg = self.config
+        now = sender.sim.now
+        if self.state == STARTUP:
+            if self.btlbw_gbps >= self._full_bw * cfg.startup_full_bw_thresh:
+                self._full_bw = self.btlbw_gbps
+                self._full_bw_count = 0
+            else:
+                self._full_bw_count += 1
+                if self._full_bw_count >= cfg.startup_full_bw_rounds:
+                    self.state = DRAIN
+                    self.pacing_gain = 1.0 / _STARTUP_GAIN
+        elif self.state == DRAIN:
+            bdp = self.btlbw_gbps * self._rtprop_ps(sender) / 8000.0
+            if sender.inflight_bytes <= bdp:
+                self.state = PROBE_BW
+                self._cycle_index = 0
+                self._cycle_start_ps = now
+                self.pacing_gain = _PROBE_GAINS[0]
+        else:  # PROBE_BW
+            if now - self._cycle_start_ps >= self._rtprop_ps(sender):
+                self._cycle_index = (self._cycle_index + 1) % len(_PROBE_GAINS)
+                self._cycle_start_ps = now
+                self.pacing_gain = _PROBE_GAINS[self._cycle_index]
+
+    def on_timeout(self, sender: Sender) -> None:
+        # BBR does not collapse on loss; modestly reset the window floor.
+        sender.cwnd = max(
+            self.config.min_cwnd_pkts * sender.mss, sender.cwnd * 0.5
+        )

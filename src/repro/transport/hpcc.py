@@ -1,0 +1,81 @@
+"""HPCC [43], simplified: INT-driven congestion control.
+
+The paper's Discussion (section 6) argues that even modern INT-based
+intra-DC transports like HPCC cannot fix the inter/intra split — they
+"too suffer from fairness issues due to this separation" and "rely on
+fast RTT feedback and specialized switch support ... making them
+impractical across inter-DC environments". This implementation exists to
+reproduce that argument (see ``repro.experiments.discussion_hpcc``).
+
+Mechanics kept from HPCC: switches stamp in-band telemetry — the maximum
+per-hop utilization ``U = qlen/(B*T) + txRate/B`` (enable with
+``Port.enable_int``); the sender steers its window multiplicatively
+toward ``W = W_c * eta / U`` with a small additive term, applying the
+multiplicative update at most once per RTT (per-ACK updates use the
+reference window). Omitted relative to the full paper: per-hop reaction
+decomposition and the pacing stage — adequate for transport-level
+comparisons at simulator fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transport.base import CongestionControl, Sender
+
+
+@dataclass(frozen=True)
+class HPCCConfig:
+    eta: float = 0.95            # target utilization
+    w_ai_pkts: float = 0.5       # additive increase per RTT, in MSS
+    init_cwnd_pkts: int = 10
+    max_cwnd_frac_of_bdp: float = 2.0
+    min_cwnd_pkts: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.eta <= 1.0):
+            raise ValueError(f"eta={self.eta} outside (0, 1]")
+        if self.w_ai_pkts < 0:
+            raise ValueError("w_ai_pkts cannot be negative")
+
+
+class HPCC(CongestionControl):
+    """Window control steered by INT utilization (see module docstring)."""
+
+    def __init__(self, config: HPCCConfig = HPCCConfig()):
+        self.config = config
+        self._w_c = 0.0              # reference window (updated once/RTT)
+        self._last_update_ps = -(1 << 62)
+        self._max_cwnd = float("inf")
+
+    def on_init(self, sender: Sender) -> None:
+        cfg = self.config
+        sender.cwnd = float(cfg.init_cwnd_pkts * sender.mss)
+        self._w_c = sender.cwnd
+        self._max_cwnd = cfg.max_cwnd_frac_of_bdp * sender.bdp_bytes
+
+    def on_ack(self, sender: Sender, pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        cfg = self.config
+        u = pkt.int_util
+        if u <= 0:
+            # No INT info on this path (switches not INT-enabled): grow
+            # additively so the flow is not wedged.
+            sender.cwnd = min(self._max_cwnd,
+                              sender.cwnd + cfg.w_ai_pkts * sender.mss)
+            return
+        target = self._w_c * (cfg.eta / u) + cfg.w_ai_pkts * sender.mss
+        sender.cwnd = max(cfg.min_cwnd_pkts * sender.mss,
+                          min(self._max_cwnd, target))
+        now = sender.sim.now
+        if now - self._last_update_ps >= max(int(sender.srtt_ps),
+                                             sender.base_rtt_ps):
+            # Commit the reference window once per RTT (HPCC's guard
+            # against over-reacting to a single congested sample).
+            self._w_c = sender.cwnd
+            self._last_update_ps = now
+
+    def on_timeout(self, sender: Sender) -> None:
+        sender.cwnd = max(self.config.min_cwnd_pkts * sender.mss,
+                          sender.cwnd * 0.5)
+        self._w_c = sender.cwnd

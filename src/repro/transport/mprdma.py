@@ -1,0 +1,69 @@
+"""MPRDMA [47] congestion control: per-ACK ECN AIMD.
+
+MPRDMA reacts to each ACK individually (no epoch smoothing): an unmarked
+ACK grows the window by 1/cwnd (in MSS units, i.e. one MSS per RTT) and a
+marked ACK shrinks it by half an MSS. This is the intra-DC half of the
+paper's MPRDMA+BBR baseline. (MPRDMA's multipath machinery is modeled
+separately via switch-level spraying/entropy; here we implement its
+congestion-control loop.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transport.base import CongestionControl, Sender
+
+
+@dataclass(frozen=True)
+class MPRDMAConfig:
+    init_cwnd_pkts: int = 10            # floor on the initial window
+    init_cwnd_frac_of_bdp: float = 0.0  # optional BDP-proportional start
+    use_slow_start: bool = True         # double per RTT until first mark
+    max_cwnd_frac_of_bdp: float = 2.0
+    md_per_ack_mss: float = 0.5   # window cut per marked ACK, in MSS
+    min_cwnd_pkts: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.md_per_ack_mss <= 0:
+            raise ValueError("md_per_ack_mss must be positive")
+
+
+class MPRDMA(CongestionControl):
+    """MPRDMA's per-ACK ECN AIMD loop."""
+    def __init__(self, config: MPRDMAConfig = MPRDMAConfig()):
+        self.config = config
+        self._slow_start = False
+        self._max_cwnd = float("inf")
+
+    def on_init(self, sender: Sender) -> None:
+        sender.cwnd = float(
+            max(
+                self.config.init_cwnd_pkts * sender.mss,
+                self.config.init_cwnd_frac_of_bdp * sender.bdp_bytes,
+            )
+        )
+        self._slow_start = self.config.use_slow_start
+        self._max_cwnd = self.config.max_cwnd_frac_of_bdp * sender.bdp_bytes
+
+    def on_ack(self, sender: Sender, pkt: Packet, rtt_ps: int, ecn: bool) -> None:
+        mss = sender.mss
+        if ecn:
+            self._slow_start = False
+            sender.cwnd -= self.config.md_per_ack_mss * mss
+        elif self._slow_start:
+            sender.cwnd += pkt.payload
+            if sender.cwnd >= self._max_cwnd:
+                self._slow_start = False
+        else:
+            sender.cwnd += mss * pkt.payload / sender.cwnd
+        if sender.cwnd > self._max_cwnd:
+            sender.cwnd = self._max_cwnd
+        floor = self.config.min_cwnd_pkts * mss
+        if sender.cwnd < floor:
+            sender.cwnd = floor
+
+    def on_timeout(self, sender: Sender) -> None:
+        self._slow_start = False
+        sender.cwnd = float(sender.mss)

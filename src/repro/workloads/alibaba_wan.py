@@ -1,0 +1,28 @@
+"""Alibaba regional-WAN flow sizes (FlashPass [65]) — the paper's
+inter-DC workload for Figs 10-12.
+
+SUBSTITUTION NOTE (see DESIGN.md): the raw trace recorded between two
+Alibaba datacenters is not public. We embed a piecewise CDF matching the
+published summary characteristics: flow sizes ranging from a few KB to
+~300 MB (the paper notes all recorded messages are < 300 MB), heavy-
+tailed, with most flows in the 100 KB - 10 MB range and a mean of a few
+MB. Experiments that need shorter runtimes use ``.scaled(...)`` copies,
+recorded in EXPERIMENTS.md.
+"""
+
+from repro.workloads.distributions import EmpiricalCDF
+
+ALIBABA_WAN_POINTS = [
+    (5_000, 0.05),
+    (20_000, 0.15),
+    (100_000, 0.35),
+    (500_000, 0.55),
+    (1_000_000, 0.65),
+    (5_000_000, 0.80),
+    (20_000_000, 0.90),
+    (50_000_000, 0.95),
+    (100_000_000, 0.98),
+    (300_000_000, 1.00),
+]
+
+ALIBABA_WAN_CDF = EmpiricalCDF(ALIBABA_WAN_POINTS, name="alibaba_wan")

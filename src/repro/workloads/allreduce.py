@@ -1,0 +1,137 @@
+"""Data-parallel AI-training workload: ring Allreduce across two DCs.
+
+The paper (5.1, Fig 13C) trains a Llama-70B-style model data-parallel
+across the two datacenters: every iteration ends with an Allreduce
+(reduce-scatter + all-gather) of the gradients, generating periodic
+70-500 MiB bursts over the inter-DC links.
+
+We model the canonical ring algorithm over N participants (half per DC):
+2(N-1) steps, each participant sending one G/N-byte chunk to its ring
+successor per step. Steps are bulk-synchronous (a step starts when the
+previous step's flows all finished) — a mild simplification of the
+pipelined ring that keeps the inter-DC traffic pattern (two ring edges
+cross the WAN each step) intact.
+
+``ideal_runtime_ps`` is the collision-free, loss-free lower bound the
+paper normalizes Fig 13C against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.units import ser_time_ps
+from repro.topology.multidc import MultiDC
+
+# flow_starter(src, dst, size_bytes, on_complete, start_ps) -> sender
+FlowStarter = Callable[[Host, Host, int, Callable, int], object]
+
+
+@dataclass(frozen=True)
+class AllreduceConfig:
+    participants_per_dc: int = 4
+    gradient_bytes: int = 128 * 1024 * 1024  # per-iteration burst (paper: 70-500 MiB)
+    iterations: int = 1
+    compute_gap_ps: int = 0  # idle time modeling fwd/bwd compute between iterations
+
+    def __post_init__(self) -> None:
+        if self.participants_per_dc < 1:
+            raise ValueError("need at least one participant per DC")
+        if self.gradient_bytes <= 0:
+            raise ValueError("gradient size must be positive")
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+
+    @property
+    def world_size(self) -> int:
+        return 2 * self.participants_per_dc
+
+    @property
+    def chunk_bytes(self) -> int:
+        return max(1, self.gradient_bytes // self.world_size)
+
+    @property
+    def n_steps(self) -> int:
+        return 2 * (self.world_size - 1)
+
+
+class RingAllreduce:
+    """Drives the iterations; collect results from ``iteration_times_ps``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: MultiDC,
+        config: AllreduceConfig,
+        flow_starter: FlowStarter,
+        on_done: Optional[Callable[["RingAllreduce"], None]] = None,
+    ):
+        m = config.participants_per_dc
+        if m > len(topo.hosts(0)) or m > len(topo.hosts(1)):
+            raise ValueError("not enough hosts for the requested participants")
+        self.sim = sim
+        self.topo = topo
+        self.config = config
+        self.flow_starter = flow_starter
+        self.on_done = on_done
+        # Ring order: all of DC0 then all of DC1 -> exactly two WAN edges.
+        self.ring: List[Host] = list(topo.hosts(0)[:m]) + list(topo.hosts(1)[:m])
+        self.iteration_times_ps: List[int] = []
+        self._iter = 0
+        self._step = 0
+        self._pending = 0
+        self._iter_start_ps = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._iter = 0
+        self._begin_iteration()
+
+    def _begin_iteration(self) -> None:
+        self._iter_start_ps = self.sim.now
+        self._step = 0
+        self._launch_step()
+
+    def _launch_step(self) -> None:
+        n = self.config.world_size
+        chunk = self.config.chunk_bytes
+        self._pending = n
+        for i, src in enumerate(self.ring):
+            dst = self.ring[(i + 1) % n]
+            self.flow_starter(src, dst, chunk, self._flow_done, self.sim.now)
+
+    def _flow_done(self, _sender) -> None:
+        self._pending -= 1
+        if self._pending > 0:
+            return
+        self._step += 1
+        if self._step < self.config.n_steps:
+            self._launch_step()
+            return
+        self.iteration_times_ps.append(self.sim.now - self._iter_start_ps)
+        self._iter += 1
+        if self._iter < self.config.iterations:
+            self.sim.after(self.config.compute_gap_ps, self._begin_iteration)
+        elif self.on_done is not None:
+            self.on_done(self)
+
+    # ------------------------------------------------------------------
+
+    def ideal_runtime_ps(self) -> int:
+        """Collision- and loss-free bound: each bulk-synchronous step
+        moves one chunk over the slowest hop (the WAN link) and completes
+        when the last ACK returns, i.e. one cross-DC round trip."""
+        cfg = self.topo.config
+        inter_gbps = cfg.inter_gbps or cfg.gbps
+        chunk_time = ser_time_ps(self.config.chunk_bytes, min(cfg.gbps, inter_gbps))
+        round_trip = 2 * (8 * cfg.fabric_prop_ps + cfg.border_prop_ps)
+        return self.config.n_steps * (chunk_time + round_trip)
+
+    def slowdowns(self) -> List[float]:
+        """Measured iteration time / ideal, one entry per iteration."""
+        ideal = self.ideal_runtime_ps()
+        return [t / ideal for t in self.iteration_times_ps]

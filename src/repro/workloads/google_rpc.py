@@ -1,0 +1,25 @@
+"""Small-RPC message sizes ("Google RPC", Homa [53]) — used for the
+latency-sensitive background messages in the paper's Fig 4 phantom-queue
+experiment.
+
+SUBSTITUTION NOTE: approximation of Homa's Google-datacenter aggregate
+workload (W3/W4 family): dominated by sub-MTU messages with a modest tail
+into the hundreds of KB.
+"""
+
+from repro.workloads.distributions import EmpiricalCDF
+
+GOOGLE_RPC_POINTS = [
+    (64, 0.08),
+    (128, 0.20),
+    (256, 0.40),
+    (512, 0.53),
+    (1_024, 0.60),
+    (2_048, 0.70),
+    (4_096, 0.80),
+    (16_384, 0.90),
+    (65_536, 0.97),
+    (262_144, 1.00),
+]
+
+GOOGLE_RPC_CDF = EmpiricalCDF(GOOGLE_RPC_POINTS, name="google_rpc")

@@ -1,0 +1,78 @@
+"""Deterministic traffic patterns: incast and permutation (paper 5.2.1)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.sim.host import Host
+from repro.topology.multidc import MultiDC
+from repro.workloads.generator import FlowSpec
+
+
+def incast_specs(
+    topo: MultiDC,
+    n_intra: int,
+    n_inter: int,
+    size_bytes: int,
+    dst: Optional[Host] = None,
+    start_ps: int = 0,
+) -> List[FlowSpec]:
+    """``n_intra`` senders from the destination's DC plus ``n_inter``
+    senders from the remote DC, all toward one receiver (Fig 3/8).
+
+    Intra senders are drawn from *other pods* so they traverse the core
+    like the paper's setup; there must be enough hosts for distinct
+    senders.
+    """
+    if dst is None:
+        dst = topo.host(0, 0)
+    local = [h for h in topo.hosts(dst.dc) if h is not dst]
+    # Prefer senders outside the destination's pod for full-fabric paths.
+    tree = topo.dcs[dst.dc]
+    far = [h for h in local if tree.pod_of(h) != tree.pod_of(dst)]
+    pool = far + [h for h in local if h not in far]
+    if n_intra > len(pool):
+        raise ValueError(f"not enough intra-DC hosts: {n_intra} > {len(pool)}")
+    remote = topo.hosts(1 - dst.dc)
+    if n_inter > len(remote):
+        raise ValueError(f"not enough inter-DC hosts: {n_inter} > {len(remote)}")
+    specs = [
+        FlowSpec(start_ps, pool[i], dst, size_bytes, is_inter_dc=False)
+        for i in range(n_intra)
+    ]
+    specs.extend(
+        FlowSpec(start_ps, remote[i], dst, size_bytes, is_inter_dc=True)
+        for i in range(n_inter)
+    )
+    return specs
+
+
+def permutation_pairs(
+    topo: MultiDC, rng: random.Random
+) -> List[Tuple[Host, Host]]:
+    """A random permutation over all hosts of both DCs: every host sends
+    to exactly one other host and receives from exactly one (Fig 9).
+    Destinations may land in either DC, so inter-DC links can easily be
+    oversubscribed — the point of the experiment."""
+    hosts = topo.all_hosts()
+    dsts = hosts[:]
+    # Sattolo's algorithm: a uniform cyclic permutation, so no host ever
+    # maps to itself.
+    for i in range(len(dsts) - 1, 0, -1):
+        j = rng.randrange(i)
+        dsts[i], dsts[j] = dsts[j], dsts[i]
+    return list(zip(hosts, dsts))
+
+
+def permutation_specs(
+    topo: MultiDC,
+    size_bytes: int,
+    rng: random.Random,
+    start_ps: int = 0,
+) -> List[FlowSpec]:
+    """Flow specs for a full-host random permutation at one size."""
+    return [
+        FlowSpec(start_ps, src, dst, size_bytes, is_inter_dc=src.dc != dst.dc)
+        for src, dst in permutation_pairs(topo, rng)
+    ]

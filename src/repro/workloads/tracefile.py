@@ -1,0 +1,85 @@
+"""htsim-style CDF trace-file loading and saving.
+
+The paper's artifact ships its flow-size distributions as plain-text CDF
+files ("we include the files having the CDF flow size distribution in
+the actual repository"). This module reads and writes that conventional
+format so users can drop in their own traces:
+
+    # comment lines start with '#'
+    <size_bytes> <cumulative_probability>
+    ...
+
+sorted ascending, final probability 1.0. The built-in distributions are
+also shipped as data files under ``repro/workloads/data/`` and loadable
+by name.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.workloads.distributions import EmpiricalCDF
+
+_DATA_PACKAGE = "repro.workloads.data"
+
+
+def parse_cdf_text(text: str, name: str = "") -> EmpiricalCDF:
+    """Parse CDF points from trace-file text."""
+    points: List[Tuple[float, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{name or 'trace'}:{lineno}: expected '<size> <prob>', "
+                f"got {raw!r}"
+            )
+        try:
+            size = float(parts[0])
+            prob = float(parts[1])
+        except ValueError as exc:
+            raise ValueError(
+                f"{name or 'trace'}:{lineno}: non-numeric field in {raw!r}"
+            ) from exc
+        points.append((size, prob))
+    if not points:
+        raise ValueError(f"{name or 'trace'}: no CDF points found")
+    return EmpiricalCDF(points, name=name)
+
+
+def load_cdf_file(path: Union[str, Path]) -> EmpiricalCDF:
+    """Load a CDF trace file from disk."""
+    p = Path(path)
+    return parse_cdf_text(p.read_text(), name=p.stem)
+
+
+def save_cdf_file(cdf: EmpiricalCDF, path: Union[str, Path],
+                  header: str = "") -> None:
+    """Write ``cdf`` in the trace-file format."""
+    lines = []
+    if header:
+        lines.extend(f"# {h}" for h in header.splitlines())
+    lines.extend(f"{int(s)} {p:.6f}" for s, p in zip(cdf.sizes, cdf.probs))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_builtin(name: str) -> EmpiricalCDF:
+    """Load one of the shipped distributions by name
+    (``websearch``, ``alibaba_wan``, ``google_rpc``)."""
+    filename = f"{name}.cdf"
+    try:
+        text = (resources.files(_DATA_PACKAGE) / filename).read_text()
+    except FileNotFoundError:
+        available = sorted(
+            f.name[:-4]
+            for f in resources.files(_DATA_PACKAGE).iterdir()
+            if f.name.endswith(".cdf")
+        )
+        raise ValueError(
+            f"unknown builtin CDF {name!r}; available: {available}"
+        ) from None
+    return parse_cdf_text(text, name=name)

@@ -1,0 +1,27 @@
+"""Google web-search flow sizes (DCTCP [9]) — the paper's intra-DC
+workload for Figs 10-12.
+
+These are the widely-circulated CDF points from the DCTCP measurement
+study, as shipped with pFabric/Homa/htsim simulator artifacts. Sizes in
+bytes; heavy-tailed with a mean around 1.6 MB: >95% of *bytes* come from
+the >1 MB flows while most *flows* are tens of KB.
+"""
+
+from repro.workloads.distributions import EmpiricalCDF
+
+WEBSEARCH_POINTS = [
+    (6_000, 0.15),
+    (13_000, 0.20),
+    (19_000, 0.30),
+    (33_000, 0.40),
+    (53_000, 0.53),
+    (133_000, 0.60),
+    (667_000, 0.70),
+    (1_467_000, 0.80),
+    (2_107_000, 0.90),
+    (6_667_000, 0.95),
+    (20_000_000, 0.98),
+    (30_000_000, 1.00),
+]
+
+WEBSEARCH_CDF = EmpiricalCDF(WEBSEARCH_POINTS, name="websearch")

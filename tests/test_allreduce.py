@@ -1,0 +1,116 @@
+import pytest
+
+from repro.core import UnoParams
+from repro.core.uno import start_uno_flow
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB, SEC, US, MS
+from repro.topology.multidc import MultiDC, MultiDCConfig
+from repro.workloads.allreduce import AllreduceConfig, RingAllreduce
+
+
+def make_topo(sim, k=4):
+    params = UnoParams(link_gbps=25.0, queue_bytes=256 * 1024)
+    topo = MultiDC(
+        sim,
+        MultiDCConfig(
+            k=k, gbps=params.link_gbps, n_border_links=4,
+            intra_rtt_ps=params.intra_rtt_ps, inter_rtt_ps=params.inter_rtt_ps,
+            queue_bytes=params.queue_bytes, red=params.red(),
+            phantom=params.phantom(),
+        ),
+    )
+    return params, topo
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllreduceConfig(participants_per_dc=0)
+        with pytest.raises(ValueError):
+            AllreduceConfig(gradient_bytes=0)
+        with pytest.raises(ValueError):
+            AllreduceConfig(iterations=0)
+
+    def test_derived_quantities(self):
+        cfg = AllreduceConfig(participants_per_dc=4, gradient_bytes=8 * MIB)
+        assert cfg.world_size == 8
+        assert cfg.n_steps == 14
+        assert cfg.chunk_bytes == MIB
+
+    def test_too_many_participants(self):
+        sim = Simulator()
+        params, topo = make_topo(sim)
+        with pytest.raises(ValueError):
+            RingAllreduce(sim, topo, AllreduceConfig(participants_per_dc=100),
+                          flow_starter=lambda *a: None)
+
+
+class TestRing:
+    def test_ring_crosses_wan_exactly_twice(self):
+        sim = Simulator()
+        params, topo = make_topo(sim)
+        ar = RingAllreduce(sim, topo, AllreduceConfig(participants_per_dc=3),
+                           flow_starter=lambda *a: None)
+        crossings = sum(
+            1
+            for i, h in enumerate(ar.ring)
+            if h.dc != ar.ring[(i + 1) % len(ar.ring)].dc
+        )
+        assert crossings == 2
+
+    def test_iteration_completes_and_records_time(self):
+        sim = Simulator()
+        params, topo = make_topo(sim)
+
+        def starter(src, dst, size, on_complete, start_ps):
+            return start_uno_flow(sim, topo.net, src, dst, size, params,
+                                  on_complete=on_complete,
+                                  seed=src.node_id * 7 + dst.node_id)
+
+        done = []
+        ar = RingAllreduce(
+            sim, topo,
+            AllreduceConfig(participants_per_dc=2, gradient_bytes=MIB,
+                            iterations=2, compute_gap_ps=1 * MS),
+            flow_starter=starter,
+            on_done=done.append,
+        )
+        ar.start()
+        sim.run(until=60 * SEC)
+        assert done == [ar]
+        assert len(ar.iteration_times_ps) == 2
+        assert all(t > 0 for t in ar.iteration_times_ps)
+
+    def test_slowdown_at_least_one(self):
+        sim = Simulator()
+        params, topo = make_topo(sim)
+
+        def starter(src, dst, size, on_complete, start_ps):
+            return start_uno_flow(sim, topo.net, src, dst, size, params,
+                                  on_complete=on_complete,
+                                  seed=src.node_id * 7 + dst.node_id)
+
+        ar = RingAllreduce(
+            sim, topo,
+            AllreduceConfig(participants_per_dc=2, gradient_bytes=MIB,
+                            iterations=1),
+            flow_starter=starter,
+        )
+        ar.start()
+        sim.run(until=60 * SEC)
+        assert len(ar.slowdowns()) == 1
+        assert ar.slowdowns()[0] >= 1.0
+
+    def test_ideal_runtime_scales_with_steps(self):
+        sim = Simulator()
+        params, topo = make_topo(sim)
+        small = RingAllreduce(sim, topo,
+                              AllreduceConfig(participants_per_dc=2,
+                                              gradient_bytes=MIB),
+                              flow_starter=lambda *a: None)
+        big = RingAllreduce(sim, topo,
+                            AllreduceConfig(participants_per_dc=4,
+                                            gradient_bytes=MIB),
+                            flow_starter=lambda *a: None)
+        assert big.config.n_steps > small.config.n_steps
+        assert big.ideal_runtime_ps() > 0

@@ -1,0 +1,111 @@
+"""Packet-conservation invariants of the simulator datapath.
+
+Property: every byte a sender puts on the wire is accounted for exactly
+once — delivered, dropped at a queue, lost to a loss model, or killed by
+a link failure. Holes in this accounting are how simulators silently lie.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import BernoulliLoss
+from repro.sim.units import MIB, US
+from repro.topology.multidc import MultiDC, MultiDCConfig
+from repro.topology.simple import incast_star
+from repro.transport.base import start_flow
+from repro.transport.dctcp import DCTCP
+
+
+def link_accounting(net):
+    delivered = lost = failed = 0
+    for link in net.links:
+        delivered += link.delivered_pkts
+        lost += link.lost_pkts
+        failed += link.failed_drops
+    return delivered, lost, failed
+
+
+def total_tx_pkts(net):
+    """Packets fully serialized by every port (= packets links received)."""
+    n = 0
+    for node in net.nodes:
+        for port in node.ports.values():
+            n += port.enqueued_pkts - port.drops - len(port._fifo)
+    return n
+
+
+class TestConservation:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        n_senders=st.integers(min_value=1, max_value=4),
+        loss_permille=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_every_transmitted_packet_is_accounted(
+        self, n_senders, loss_permille, seed
+    ):
+        sim = Simulator()
+        topo = incast_star(sim, n_senders, prop_ps=1 * US)
+        if loss_permille:
+            bl = topo.bottleneck.link
+            bl.loss_model = BernoulliLoss(loss_permille / 1000, seed=seed)
+        done = []
+        for i, s in enumerate(topo.senders):
+            start_flow(sim, topo.net, DCTCP(), s, topo.receivers[0],
+                       256 * 1024, base_rtt_ps=14 * US, seed=seed + i,
+                       on_complete=done.append)
+        sim.run(until=10**12)
+        assert len(done) == n_senders
+        delivered, lost, failed = link_accounting(topo.net)
+        assert delivered + lost + failed == total_tx_pkts(topo.net)
+        assert failed == 0
+
+    def test_accounting_with_failures_and_loss_on_multidc(self):
+        from repro.core import UnoParams, start_uno_flow
+        from repro.sim.failures import schedule_bidirectional_failure
+
+        sim = Simulator()
+        params = UnoParams(link_gbps=25.0, queue_bytes=256 * 1024)
+        topo = MultiDC(sim, MultiDCConfig(
+            k=4, gbps=25.0, n_border_links=4,
+            intra_rtt_ps=params.intra_rtt_ps,
+            inter_rtt_ps=params.inter_rtt_ps,
+            queue_bytes=256 * 1024, red=params.red(),
+            phantom=params.phantom(), seed=3,
+        ))
+        ab, ba = topo.border_links[0]
+        ab.loss_model = BernoulliLoss(0.01, seed=7)
+        schedule_bidirectional_failure(sim, *topo.border_links[1],
+                                       fail_at_ps=1_000_000_000,
+                                       repair_after_ps=5_000_000_000)
+        done = []
+        for i in range(4):
+            start_uno_flow(sim, topo.net, topo.host(0, i), topo.host(1, i),
+                           MIB, params, seed=11 + i, on_complete=done.append)
+        sim.run(until=4_000_000_000_000)
+        assert len(done) == 4
+        delivered, lost, failed = link_accounting(topo.net)
+        assert delivered + lost + failed == total_tx_pkts(topo.net)
+        assert lost > 0  # the loss model actually engaged
+
+    def test_host_rx_matches_link_delivery_to_hosts(self):
+        sim = Simulator()
+        topo = incast_star(sim, 2, prop_ps=1 * US)
+        done = []
+        for i, s in enumerate(topo.senders):
+            start_flow(sim, topo.net, DCTCP(), s, topo.receivers[0],
+                       128 * 1024, base_rtt_ps=14 * US, seed=i,
+                       on_complete=done.append)
+        sim.run(until=10**12)
+        assert len(done) == 2
+        host_rx = sum(h.rx_pkts for h in topo.net.hosts)
+        to_hosts = sum(
+            link.delivered_pkts
+            for link in topo.net.links
+            if link.dst in topo.net.hosts
+        )
+        assert host_rx == to_hosts

@@ -1,0 +1,70 @@
+"""Reproducibility: identical seeds must give bit-identical results.
+
+The whole experiment pipeline is seeded (event ordering is deterministic,
+all randomness flows through owned RNGs), so re-running a configuration
+must reproduce every FCT exactly — the property EXPERIMENTS.md's numbers
+rely on.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_multidc,
+    make_launcher,
+    run_specs,
+)
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB
+from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+from repro.workloads.generator import PoissonTraffic, TrafficConfig
+from repro.workloads.patterns import incast_specs
+from repro.workloads.websearch import WEBSEARCH_CDF
+
+SCALE = ExperimentScale.quick()
+
+
+def run_once(scheme: str, seed: int) -> list[tuple[int, int]]:
+    sim = Simulator()
+    params = SCALE.params()
+    topo = build_multidc(sim, scheme, params, SCALE, seed=seed)
+    traffic = PoissonTraffic(
+        topo,
+        TrafficConfig(
+            load=0.3,
+            duration_ps=3_000_000_000,
+            intra_cdf=WEBSEARCH_CDF.scaled(1 / 64),
+            inter_cdf=ALIBABA_WAN_CDF.scaled(1 / 64),
+            max_flows=40,
+            seed=seed,
+        ),
+    )
+    specs = traffic.generate()
+    launcher = make_launcher(scheme, sim, topo, params, seed=seed)
+    senders = run_specs(sim, specs, launcher, SCALE.horizon_ps)
+    return [(s.flow_id, s.stats.fct_ps) for s in senders]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme", ["uno", "gemini"])
+    def test_same_seed_same_fcts(self, scheme):
+        assert run_once(scheme, 71) == run_once(scheme, 71)
+
+    def test_different_seed_differs(self):
+        a = run_once("uno", 71)
+        b = run_once("uno", 72)
+        assert a != b
+
+    def test_incast_deterministic(self):
+        def go():
+            sim = Simulator()
+            params = SCALE.params()
+            topo = build_multidc(sim, "uno", params, SCALE, seed=5)
+            specs = incast_specs(topo, 2, 2, MIB)
+            launcher = make_launcher("uno", sim, topo, params, seed=5)
+            senders = run_specs(sim, specs, launcher, SCALE.horizon_ps)
+            return [s.stats.fct_ps for s in senders]
+
+        assert go() == go()

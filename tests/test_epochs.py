@@ -1,0 +1,75 @@
+import pytest
+
+from repro.transport.epochs import EpochTracker
+
+
+class TestEpochTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpochTracker(0)
+
+    def test_first_ack_opens_epoch_without_closing(self):
+        t = EpochTracker(1000)
+        # Packet sent before the (just-initialized) epoch start.
+        assert t.on_ack(now_ps=100, pkt_sent_ps=50, ecn=False) is None
+
+    def test_epoch_closes_on_post_activation_packet(self):
+        t = EpochTracker(1000)
+        t.on_ack(now_ps=100, pkt_sent_ps=50, ecn=True)
+        summary = t.on_ack(now_ps=300, pkt_sent_ps=150, ecn=False)
+        assert summary is not None
+        assert summary.total_acks == 2
+        assert summary.marked_acks == 1
+        assert summary.ecn_fraction == pytest.approx(0.5)
+
+    def test_counts_reset_between_epochs(self):
+        t = EpochTracker(1000)
+        t.on_ack(100, 50, True)
+        t.on_ack(300, 150, True)  # closes epoch 1
+        s = t.on_ack(1200, 1101, False)  # closes epoch 2
+        assert s is not None
+        assert s.total_acks == 1
+        assert s.marked_acks == 0
+
+    def test_epoch_advances_by_period(self):
+        t = EpochTracker(1000)
+        t.on_ack(100, 50, False)
+        assert t.t_epoch == 100
+        t.on_ack(200, 150, False)
+        assert t.t_epoch == 1100
+
+    def test_epoch_catches_up_to_send_time_after_idle(self):
+        t = EpochTracker(1000)
+        t.on_ack(100, 50, False)
+        t.on_ack(5000, 4900, False)  # long gap; t_epoch would lag at 1100
+        assert t.t_epoch == 4900  # clamped to the send timeline, not `now`
+
+    def test_delayed_feedback_still_closes_per_period(self):
+        """The unified-granularity property: with a 2000-unit feedback
+        delay and a 100-unit period, a continuous stream closes an epoch
+        every ~100 units of send time."""
+        t = EpochTracker(100)
+        closes = 0
+        for send in range(0, 6000, 10):  # one packet sent every 10 units
+            arrival = send + 2000
+            if t.on_ack(arrival, send, False) is not None:
+                closes += 1
+        # The activation time starts at the first ACK's *arrival* (paper),
+        # so the first feedback-delay's worth of sends closes nothing;
+        # after that, one close per period of send time:
+        # (6000 - 2000) / 100 = 40.
+        assert 38 <= closes <= 41
+
+    def test_tracks_max_relative_delay(self):
+        t = EpochTracker(1000)
+        t.on_ack(100, 50, False, rel_delay_ps=30)
+        s = t.on_ack(200, 150, False, rel_delay_ps=10)
+        assert s is not None
+        assert s.max_rel_delay_ps == 30
+
+    def test_epochs_closed_counter(self):
+        t = EpochTracker(1000)
+        t.on_ack(100, 50, False)
+        t.on_ack(200, 150, False)
+        t.on_ack(1300, 1200, False)
+        assert t.epochs_closed == 2

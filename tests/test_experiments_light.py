@@ -1,0 +1,56 @@
+"""Lightweight checks of the experiment modules (the heavy regeneration
+runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import fig1, table1
+from repro.experiments.report import format_table, print_experiment
+from repro.sim.units import GIB, KIB, MIB, MS, US
+
+
+class TestFig1Analytics:
+    def test_propagation_fraction_bounds(self):
+        assert 0 < fig1.propagation_fraction(1, 1 * US) <= 1
+        assert fig1.propagation_fraction(4 * KIB, 20 * MS) > 0.999
+
+    def test_latency_bound_crossover(self):
+        """Paper Fig 1B: intra RTTs cross 50% before 1 MiB, 20 ms stays
+        latency-bound past 256 MiB."""
+        assert fig1.propagation_fraction(1 * MIB, 10 * US) < 0.5
+        assert fig1.propagation_fraction(256 * MIB, 20 * MS) > 0.45
+        assert fig1.propagation_fraction(1 * GIB, 20 * MS) < 0.5
+
+    def test_fraction_monotone_in_rtt(self):
+        fr = [fig1.propagation_fraction(16 * MIB, r)
+              for r in (10 * US, 1 * MS, 20 * MS)]
+        assert fr == sorted(fr)
+
+
+class TestTable1Calibration:
+    def test_fitted_parameters_match_marginal(self):
+        for setup in table1.PAPER.values():
+            from repro.sim.failures import calibrate_gilbert_elliott
+
+            params = calibrate_gilbert_elliott(
+                setup["loss_rate"],
+                mean_burst_packets=setup["ge_mean_burst"],
+                loss_bad=setup["ge_loss_bad"],
+            )
+            assert params.marginal_loss_rate == pytest.approx(
+                setup["loss_rate"], rel=1e-9
+            )
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2.5], ["xy", 0.0001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "0.0001" in lines[3]
+
+    def test_print_experiment_smoke(self, capsys):
+        print_experiment("T", "expect", ["h"], [[1]])
+        captured = capsys.readouterr().out
+        assert "=== T ===" in captured
+        assert "expect" in captured

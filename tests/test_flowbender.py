@@ -1,0 +1,94 @@
+import pytest
+
+from repro.lb.flowbender import Flowbender, FlowbenderConfig
+from repro.sim.engine import Simulator
+from repro.sim.packet import ACK, DATA, Packet
+from repro.sim.units import MIB, US
+from repro.topology.simple import incast_star
+from repro.transport.base import start_flow
+from repro.transport.dctcp import DCTCP
+
+
+class StubSender:
+    def __init__(self):
+        import random
+
+        self.rng = random.Random(3)
+        self.flow_id = 1
+
+
+def ack(ecn=False):
+    p = Packet(ACK, 1, 1, 0, seq=0, size=64)
+    p.ecn_echo = ecn
+    return p
+
+
+class TestFlowbender:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FlowbenderConfig(ecn_threshold=0.0)
+        with pytest.raises(ValueError):
+            FlowbenderConfig(window_acks=0)
+
+    def test_stable_without_congestion(self):
+        s = StubSender()
+        fb = Flowbender(FlowbenderConfig(window_acks=4))
+        fb.on_init(s)
+        e0 = fb.entropy(s, Packet(DATA, 1, 0, 1, seq=0, size=100))
+        for _ in range(20):
+            fb.on_ack(s, ack(ecn=False), 14 * US, False)
+        assert fb.entropy(s, Packet(DATA, 1, 0, 1, seq=0, size=100)) == e0
+        assert fb.repaths == 0
+
+    def test_repaths_after_one_congested_window(self):
+        s = StubSender()
+        fb = Flowbender(FlowbenderConfig(window_acks=4, ecn_threshold=0.5))
+        fb.on_init(s)
+        for _ in range(4):
+            fb.on_ack(s, ack(ecn=True), 14 * US, True)
+        assert fb.repaths == 1
+
+    def test_repaths_on_timeout(self):
+        s = StubSender()
+        fb = Flowbender()
+        fb.on_init(s)
+        fb.on_nack_or_timeout(s)
+        assert fb.repaths == 1
+
+    def test_more_aggressive_than_plb(self):
+        """Flowbender repaths after ONE congested window; PLB needs
+        several consecutive congested rounds."""
+        from repro.lb.plb import PLB, PLBConfig
+
+        sim = Simulator()
+
+        class S:
+            def __init__(self):
+                import random
+
+                self.sim = sim
+                self.rng = random.Random(5)
+                self.base_rtt_ps = 14 * US
+                self.flow_id = 1
+
+        s = S()
+        fb = Flowbender(FlowbenderConfig(window_acks=4))
+        plb = PLB(PLBConfig(congested_rounds_to_repath=3))
+        fb.on_init(s)
+        plb.on_init(s)
+        sim.now = 20 * US
+        for _ in range(4):
+            fb.on_ack(s, ack(ecn=True), 14 * US, True)
+            plb.on_ack(s, ack(ecn=True), 14 * US, True)
+        assert fb.repaths == 1
+        assert plb.repaths == 0
+
+    def test_end_to_end(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        done = []
+        start_flow(sim, topo.net, DCTCP(), topo.senders[0], topo.receivers[0],
+                   MIB, base_rtt_ps=14 * US, path=Flowbender(),
+                   on_complete=done.append)
+        sim.run(until=10**12)
+        assert done

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.packet import DATA, Packet
+from repro.sim.units import US
+
+
+class Endpoint:
+    def __init__(self):
+        self.got = []
+
+    def on_packet(self, pkt):
+        self.got.append(pkt)
+
+
+class TestRegistry:
+    def test_register_and_dispatch(self):
+        sim = Simulator()
+        host = Host(sim, 0, "h")
+        ep = Endpoint()
+        host.register(1, ep)
+        pkt = Packet(DATA, 1, 5, 0, seq=0, size=100)
+        host.receive(pkt)
+        assert ep.got == [pkt]
+
+    def test_duplicate_registration_rejected(self):
+        host = Host(Simulator(), 0, "h")
+        host.register(1, Endpoint())
+        with pytest.raises(ValueError):
+            host.register(1, Endpoint())
+
+    def test_unknown_flow_counted_not_fatal(self):
+        host = Host(Simulator(), 0, "h")
+        host.receive(Packet(DATA, 99, 5, 0, seq=0, size=100))
+        assert host.orphan_pkts == 1
+
+    def test_unregister_is_idempotent(self):
+        host = Host(Simulator(), 0, "h")
+        host.register(1, Endpoint())
+        host.unregister(1)
+        host.unregister(1)
+        host.receive(Packet(DATA, 1, 5, 0, seq=0, size=100))
+        assert host.orphan_pkts == 1
+
+
+class TestUplink:
+    def test_uplink_requires_exactly_one_port(self):
+        host = Host(Simulator(), 0, "h")
+        with pytest.raises(RuntimeError):
+            _ = host.uplink
+
+    def test_send_goes_via_uplink(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+        s = net.add_switch("s")
+        d = net.add_host("d")
+        net.add_link(h, s, 100.0, 1 * US, 1_000_000)
+        net.add_link(s, d, 100.0, 1 * US, 1_000_000)
+        net.build_routes()
+        ep = Endpoint()
+        d.register(3, ep)
+        h.send(Packet(DATA, 3, h.node_id, d.node_id, seq=0, size=100))
+        sim.run()
+        assert len(ep.got) == 1
+        assert d.rx_pkts == 1

@@ -1,0 +1,163 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the exact paths the paper's experiments use: mixed
+traffic on the two-DC topology per scheme, failure recovery with the
+full Uno stack, and cross-checks between transports sharing a
+bottleneck.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.fct import split_intra_inter, summarize_fcts
+from repro.core import UnoParams, start_uno_flow
+from repro.experiments.harness import (
+    SCHEMES,
+    ExperimentScale,
+    build_multidc,
+    make_launcher,
+    run_specs,
+)
+from repro.sim.engine import Simulator
+from repro.sim.failures import (
+    GilbertElliottLoss,
+    calibrate_gilbert_elliott,
+    schedule_bidirectional_failure,
+)
+from repro.sim.units import MIB, MS
+from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+from repro.workloads.generator import PoissonTraffic, TrafficConfig
+from repro.workloads.patterns import permutation_specs
+from repro.workloads.websearch import WEBSEARCH_CDF
+
+
+SCALE = ExperimentScale.quick()
+
+
+class TestRealisticWorkloadPerScheme:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_small_realistic_mix_completes(self, scheme):
+        sim = Simulator()
+        params = SCALE.params()
+        topo = build_multidc(sim, scheme, params, SCALE, seed=11)
+        traffic = PoissonTraffic(
+            topo,
+            TrafficConfig(
+                load=0.3,
+                duration_ps=4 * MS,
+                intra_cdf=WEBSEARCH_CDF.scaled(1 / 64),
+                inter_cdf=ALIBABA_WAN_CDF.scaled(1 / 64),
+                max_flows=60,
+                seed=13,
+            ),
+        )
+        specs = traffic.generate()
+        launcher = make_launcher(scheme, sim, topo, params, seed=17)
+        senders = run_specs(sim, specs, launcher, SCALE.horizon_ps)
+        stats = [s.stats for s in senders]
+        intra, inter = split_intra_inter(stats)
+        assert summarize_fcts(stats).count == len(specs)
+        # FCT sanity: nothing can beat its propagation floor. Intra pairs
+        # may share an edge switch (4 links round trip at intra_rtt/12
+        # each); every inter path crosses the border link.
+        for s in intra:
+            assert s.fct_ps >= 4 * (params.intra_rtt_ps // 12)
+        for s in inter:
+            assert s.fct_ps >= params.inter_rtt_ps * 0.9
+
+
+class TestPermutationPerScheme:
+    @pytest.mark.parametrize("scheme", ["uno", "gemini"])
+    def test_permutation_completes(self, scheme):
+        sim = Simulator()
+        params = SCALE.params()
+        topo = build_multidc(sim, scheme, params, SCALE, seed=21)
+        specs = permutation_specs(topo, MIB, random.Random(23))
+        launcher = make_launcher(scheme, sim, topo, params, seed=27)
+        senders = run_specs(sim, specs, launcher, SCALE.horizon_ps)
+        assert len(senders) == len(topo.all_hosts())
+
+
+class TestUnoUnderFailures:
+    def test_border_link_failure_recovery(self):
+        """Full Uno finishes inter-DC flows despite a WAN link dying."""
+        sim = Simulator()
+        params = SCALE.params()
+        topo = build_multidc(sim, "uno", params, SCALE, seed=31)
+        ab, ba = topo.border_links[0]
+        schedule_bidirectional_failure(sim, ab, ba, fail_at_ps=1 * MS)
+        done = []
+        senders = [
+            start_uno_flow(sim, topo.net, topo.host(0, i), topo.host(1, i),
+                           2 * MIB, params, seed=31 + i,
+                           on_complete=done.append)
+            for i in range(4)
+        ]
+        sim.run(until=SCALE.horizon_ps)
+        assert len(done) == 4
+
+    def test_correlated_loss_recovery(self):
+        sim = Simulator()
+        params = SCALE.params()
+        topo = build_multidc(sim, "uno", params, SCALE, seed=37)
+        ge = calibrate_gilbert_elliott(5e-3, mean_burst_packets=2.0)
+        for i, (ab, _ba) in enumerate(topo.border_links):
+            ab.loss_model = GilbertElliottLoss(ge, seed=41 + i)
+        done = []
+        sender = start_uno_flow(
+            sim, topo.net, topo.host(0, 0), topo.host(1, 0), 4 * MIB,
+            params, seed=43, on_complete=done.append,
+        )
+        sim.run(until=SCALE.horizon_ps)
+        assert done
+        # With (8,2) EC most single losses are absorbed without NACKs.
+        assert sender.stats.nacks_received <= sender.stats.data_pkts_sent // 8
+
+    def test_ec_reduces_retransmissions_under_loss(self):
+        """Ablation: the same lossy path with and without erasure coding —
+        EC must cut retransmissions (the paper's core UnoRC claim)."""
+
+        def run(use_rc: bool) -> int:
+            sim = Simulator()
+            params = SCALE.params()
+            topo = build_multidc(sim, "uno", params, SCALE, seed=47)
+            ge = calibrate_gilbert_elliott(5e-3, mean_burst_packets=1.5)
+            for i, (ab, _ba) in enumerate(topo.border_links):
+                ab.loss_model = GilbertElliottLoss(ge, seed=53 + i)
+            done = []
+            sender = start_uno_flow(
+                sim, topo.net, topo.host(0, 0), topo.host(1, 0), 4 * MIB,
+                params, use_rc=use_rc, seed=59, on_complete=done.append,
+            )
+            sim.run(until=SCALE.horizon_ps)
+            assert done
+            return sender.stats.retransmissions
+
+        assert run(use_rc=True) < run(use_rc=False)
+
+
+class TestCrossSchemeSanity:
+    def test_phantom_keeps_queue_lower_than_no_phantom(self):
+        """UnoCC+phantom must hold a long-lived incast's bottleneck queue
+        below what Gemini (physical RED only) sustains."""
+        from repro.sim.trace import QueueMonitor
+        from repro.workloads.patterns import incast_specs
+
+        def mean_queue(scheme: str) -> float:
+            sim = Simulator()
+            params = SCALE.params()
+            topo = build_multidc(sim, scheme, params, SCALE, seed=61)
+            specs = incast_specs(topo, 4, 0, 64 * MIB)
+            dst = specs[0].dst
+            edge = topo.dcs[dst.dc].edges[0][0]
+            port = topo.net.port_between(edge, dst)
+            mon = QueueMonitor(sim, port, interval_ps=100_000_000)
+            launcher = make_launcher(scheme, sim, topo, params, seed=67)
+            for i, spec in enumerate(specs):
+                launcher(spec, i, lambda _s: None)
+            sim.run(until=30 * MS)
+            warm = [s[1] for s in mon.samples if s[0] > 10 * MS]
+            return sum(warm) / len(warm)
+
+        assert mean_queue("uno") < mean_queue("gemini")

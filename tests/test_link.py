@@ -1,0 +1,87 @@
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import DATA, Packet
+from repro.sim.units import US
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, pkt):
+        self.received.append(pkt)
+
+
+def pkt(seq=0):
+    return Packet(DATA, 1, 0, 1, seq=seq, size=4096)
+
+
+class TestPropagation:
+    def test_delivery_after_prop_delay(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, prop_ps=5 * US)
+        sink = Sink()
+        link.dst = sink
+        sim.at(0, link.transmit, pkt())
+        sim.run()
+        assert sim.now == 5 * US
+        assert len(sink.received) == 1
+        assert link.delivered_pkts == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, 0.0, 10)
+        with pytest.raises(ValueError):
+            Link(sim, 10.0, -1)
+
+
+class TestFailure:
+    def test_failed_link_drops_at_transmit(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, 1 * US)
+        sink = Sink()
+        link.dst = sink
+        link.fail()
+        link.transmit(pkt())
+        sim.run()
+        assert sink.received == []
+        assert link.failed_drops == 1
+
+    def test_failure_kills_packets_in_flight(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, 10 * US)
+        sink = Sink()
+        link.dst = sink
+        sim.at(0, link.transmit, pkt())
+        sim.at(5 * US, link.fail)  # while the packet is propagating
+        sim.run()
+        assert sink.received == []
+        assert link.failed_drops == 1
+
+    def test_restore_resumes_delivery(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, 1 * US)
+        sink = Sink()
+        link.dst = sink
+        link.fail()
+        link.restore()
+        link.transmit(pkt())
+        sim.run()
+        assert len(sink.received) == 1
+
+
+class TestLossModel:
+    def test_loss_model_drops_selected_packets(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, 1 * US)
+        sink = Sink()
+        link.dst = sink
+        link.loss_model = lambda p, now: p.seq % 2 == 0
+        for i in range(6):
+            link.transmit(pkt(seq=i))
+        sim.run()
+        assert [p.seq for p in sink.received] == [1, 3, 5]
+        assert link.lost_pkts == 3

@@ -1,0 +1,54 @@
+from repro.sim.packet import ACK, DATA, NACK, ACK_SIZE, Packet, make_ack, make_nack
+
+
+class TestPacket:
+    def test_data_packet_defaults(self):
+        pkt = Packet(DATA, flow_id=7, src=1, dst=2, seq=5, size=4160, payload=4096)
+        assert pkt.kind == DATA
+        assert pkt.ecn is False
+        assert pkt.retx == 0
+        assert pkt.hops == 0
+        assert pkt.block_id is None
+
+    def test_repr_contains_identity(self):
+        pkt = Packet(DATA, flow_id=7, src=1, dst=2, seq=5, size=100)
+        assert "flow=7" in repr(pkt)
+
+
+class TestMakeAck:
+    def _data(self):
+        pkt = Packet(DATA, flow_id=3, src=10, dst=20, seq=42, size=4160,
+                     sport=777, dport=888, payload=4096)
+        pkt.sent_ps = 12345
+        pkt.ecn = True
+        pkt.block_id = 4
+        pkt.block_pos = 2
+        return pkt
+
+    def test_ack_reverses_direction(self):
+        ack = make_ack(self._data(), now_ps=99999)
+        assert ack.kind == ACK
+        assert (ack.src, ack.dst) == (20, 10)
+        assert (ack.sport, ack.dport) == (888, 777)
+
+    def test_ack_echoes_ecn_and_timestamp(self):
+        ack = make_ack(self._data(), now_ps=99999)
+        assert ack.ecn_echo is True
+        assert ack.echo_sent_ps == 12345
+        assert ack.ecn is False  # the ACK's own mark starts clear
+
+    def test_ack_carries_seq_payload_and_block(self):
+        ack = make_ack(self._data(), now_ps=0)
+        assert ack.seq == 42
+        assert ack.payload == 4096
+        assert ack.block_id == 4
+        assert ack.size == ACK_SIZE
+
+
+class TestMakeNack:
+    def test_nack_fields(self):
+        nack = make_nack(flow_id=9, src=20, dst=10, block_id=6)
+        assert nack.kind == NACK
+        assert nack.nack_block == 6
+        assert (nack.src, nack.dst) == (20, 10)
+        assert nack.size == ACK_SIZE

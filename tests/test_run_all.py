@@ -1,0 +1,28 @@
+"""CLI surface of repro.experiments.run_all (argument handling only —
+the heavy runs are exercised by benchmarks)."""
+
+import pytest
+
+from repro.experiments import run_all
+
+
+class TestArgs:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--only", "fig99"])
+
+    def test_known_subset_parses_and_runs_fig1(self, capsys):
+        # fig1 is the only sub-second experiment; use it to exercise the
+        # full dispatch path.
+        run_all.main(["--only", "fig1"])
+        out = capsys.readouterr().out
+        assert "Figure 1B" in out
+        assert "[fig1 done" in out
+
+    def test_all_targets_are_importable(self):
+        import importlib
+
+        for name in run_all.ALL:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")

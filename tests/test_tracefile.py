@@ -1,0 +1,67 @@
+import pytest
+
+from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+from repro.workloads.google_rpc import GOOGLE_RPC_CDF
+from repro.workloads.tracefile import (
+    load_builtin,
+    load_cdf_file,
+    parse_cdf_text,
+    save_cdf_file,
+)
+from repro.workloads.websearch import WEBSEARCH_CDF
+
+
+class TestParse:
+    def test_basic(self):
+        cdf = parse_cdf_text("100 0.5\n200 1.0\n", name="t")
+        assert cdf.quantile(1.0) == 200
+
+    def test_comments_and_blank_lines(self):
+        cdf = parse_cdf_text("# header\n\n100 0.5\n200 1.0  # tail\n")
+        assert cdf.sizes[-1] == 200
+
+    def test_malformed_field_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_cdf_text("100 0.5 9\n")
+
+    def test_non_numeric(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_cdf_text("abc 0.5\n")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="no CDF points"):
+            parse_cdf_text("# only comments\n")
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "ws.cdf"
+        save_cdf_file(WEBSEARCH_CDF, path, header="test header")
+        loaded = load_cdf_file(path)
+        assert loaded.sizes == WEBSEARCH_CDF.sizes
+        assert loaded.probs == pytest.approx(WEBSEARCH_CDF.probs)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "x.cdf"
+        save_cdf_file(GOOGLE_RPC_CDF, path, header="line1\nline2")
+        text = path.read_text()
+        assert text.startswith("# line1\n# line2\n")
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("websearch", WEBSEARCH_CDF),
+            ("alibaba_wan", ALIBABA_WAN_CDF),
+            ("google_rpc", GOOGLE_RPC_CDF),
+        ],
+    )
+    def test_shipped_files_match_embedded(self, name, expected):
+        loaded = load_builtin(name)
+        assert loaded.sizes == expected.sizes
+        assert loaded.probs == pytest.approx(expected.probs)
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ValueError, match="available"):
+            load_builtin("netflix")

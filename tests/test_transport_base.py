@@ -1,0 +1,184 @@
+import pytest
+
+from repro.analysis.fct import ideal_fct_ps
+from repro.sim.engine import Simulator
+from repro.sim.failures import BernoulliLoss
+from repro.sim.units import MIB, US
+from repro.topology.simple import dumbbell, incast_star
+from repro.transport.base import (
+    CongestionControl,
+    FixedEntropy,
+    Sender,
+    start_flow,
+)
+from repro.transport.dctcp import DCTCP
+
+
+class FixedWindow(CongestionControl):
+    """Keeps cwnd constant: isolates the reliability machinery."""
+
+    def __init__(self, cwnd_bytes: float):
+        self._cwnd = cwnd_bytes
+
+    def on_init(self, sender):
+        sender.cwnd = self._cwnd
+
+    def on_timeout(self, sender):
+        pass
+
+
+def run_one_flow(size, loss_p=0.0, cwnd=1 << 20, horizon=10**12):
+    sim = Simulator()
+    topo = incast_star(sim, 1, prop_ps=1 * US)
+    if loss_p:
+        bl = topo.net.link_between(topo.senders[0], topo.net.node("sw"))
+        bl.loss_model = BernoulliLoss(loss_p, seed=5)
+    done = []
+    sender = start_flow(
+        sim, topo.net, FixedWindow(cwnd), topo.senders[0], topo.receivers[0],
+        size, base_rtt_ps=14 * US, on_complete=done.append,
+    )
+    sim.run(until=horizon)
+    return sim, sender, done
+
+
+class TestBasicDelivery:
+    def test_single_packet_flow(self):
+        sim, sender, done = run_one_flow(100)
+        assert done == [sender]
+        assert sender.stats.data_pkts_sent == 1
+        assert sender.stats.bytes_acked == 100
+
+    def test_multi_packet_flow_completes(self):
+        sim, sender, done = run_one_flow(1 * MIB)
+        assert sender.done
+        assert sender.stats.data_pkts_sent == 256
+        assert sender.stats.retransmissions == 0
+
+    def test_fct_close_to_ideal_unloaded(self):
+        size = 1 * MIB
+        sim, sender, done = run_one_flow(size)
+        ideal = ideal_fct_ps(size, 4 * US + 2 * 2 * US, 100.0)  # ~2 hops x 1us x RT
+        assert sender.stats.fct_ps == pytest.approx(ideal, rel=0.25)
+
+    def test_last_packet_may_be_short(self):
+        sim, sender, done = run_one_flow(4096 + 100)
+        assert sender.done
+        assert sender.payload_of(0) == 4096
+        assert sender.payload_of(1) == 100
+
+    def test_zero_size_rejected(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1)
+        with pytest.raises(ValueError):
+            start_flow(sim, topo.net, FixedWindow(4096), topo.senders[0],
+                       topo.receivers[0], 0)
+
+    def test_endpoints_unregistered_after_completion(self):
+        sim, sender, done = run_one_flow(8192)
+        assert sender.flow_id not in sender.src.endpoints
+        assert sender.flow_id not in sender.dst.endpoints
+
+
+class TestWindowEnforcement:
+    def test_inflight_never_exceeds_cwnd(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=10 * US)
+        cwnd = 8 * 4096
+        sender = start_flow(
+            sim, topo.net, FixedWindow(cwnd), topo.senders[0],
+            topo.receivers[0], 1 * MIB, base_rtt_ps=40 * US,
+        )
+        max_seen = 0
+        while sim.step():
+            max_seen = max(max_seen, sender.inflight_bytes)
+        assert sender.done
+        assert max_seen <= cwnd
+
+    def test_small_window_serializes_flow(self):
+        # One packet per RTT: FCT ~ n_pkts * RTT.
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=10 * US)
+        sender = start_flow(
+            sim, topo.net, FixedWindow(4096), topo.senders[0],
+            topo.receivers[0], 20 * 4096, base_rtt_ps=40 * US,
+        )
+        sim.run(until=10**12)
+        assert sender.done
+        assert sender.stats.fct_ps >= 19 * 40 * US
+
+
+class TestLossRecovery:
+    def test_completes_under_random_loss(self):
+        sim, sender, done = run_one_flow(256 * 1024, loss_p=0.05)
+        assert sender.done
+        assert sender.stats.retransmissions > 0
+
+    def test_completes_under_heavy_loss(self):
+        sim, sender, done = run_one_flow(64 * 1024, loss_p=0.3)
+        assert sender.done
+
+    def test_retransmission_count_reflects_losses(self):
+        sim, sender, done = run_one_flow(256 * 1024, loss_p=0.1)
+        # At 10% loss of 64 packets, expect at least a few retransmissions.
+        assert sender.stats.retransmissions >= 3
+        assert sender.stats.timeouts >= 1
+
+    def test_inflight_zero_after_completion(self):
+        sim, sender, done = run_one_flow(128 * 1024, loss_p=0.1)
+        assert sender.inflight_bytes == 0
+
+
+class TestPacing:
+    def test_pacing_spaces_packets(self):
+        class Paced(FixedWindow):
+            def on_init(self, sender):
+                super().on_init(sender)
+                sender.pacing_rate_gbps = 10.0  # 10% of line rate
+
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        size = 100 * 4096
+        sender = start_flow(
+            sim, topo.net, Paced(1 << 20), topo.senders[0],
+            topo.receivers[0], size, base_rtt_ps=14 * US,
+        )
+        sim.run(until=10**12)
+        assert sender.done
+        # At 10 Gbps, 100 packets of ~4160B take >= 330 us just to pace out.
+        assert sender.stats.fct_ps > 300 * US
+
+
+class TestMultipleFlows:
+    def test_dumbbell_shares_bottleneck(self):
+        sim = Simulator()
+        topo = dumbbell(sim, 4, prop_ps=1 * US)
+        done = []
+        for i, (s, r) in enumerate(zip(topo.senders, topo.receivers)):
+            start_flow(sim, topo.net, DCTCP(), s, r, 512 * 1024,
+                       base_rtt_ps=14 * US, seed=i, on_complete=done.append)
+        sim.run(until=10**12)
+        assert len(done) == 4
+
+    def test_flow_ids_unique(self):
+        sim = Simulator()
+        topo = dumbbell(sim, 3, prop_ps=1 * US)
+        senders = [
+            start_flow(sim, topo.net, DCTCP(), s, r, 8192, base_rtt_ps=14 * US)
+            for s, r in zip(topo.senders, topo.receivers)
+        ]
+        ids = [s.flow_id for s in senders]
+        assert len(set(ids)) == 3
+
+
+class TestPathSelector:
+    def test_fixed_entropy_is_stable(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        path = FixedEntropy(1234)
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 64 * 1024, path=path, base_rtt_ps=14 * US,
+        )
+        sim.run(until=10**12)
+        assert sender.done

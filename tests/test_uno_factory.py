@@ -1,0 +1,75 @@
+"""start_uno_flow composition rules."""
+
+import pytest
+
+from repro.core import UnoParams, start_uno_flow
+from repro.core.unolb import UnoLB
+from repro.core.unorc import UnoRCSender
+from repro.experiments.harness import ExperimentScale, build_multidc
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB
+from repro.transport.base import FixedEntropy
+
+
+@pytest.fixture()
+def setup():
+    scale = ExperimentScale.quick()
+    sim = Simulator()
+    params = scale.params()
+    topo = build_multidc(sim, "uno", params, scale, seed=5)
+    return sim, params, topo
+
+
+class TestComposition:
+    def test_inter_flow_gets_rc_and_lb(self, setup):
+        sim, params, topo = setup
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                           MIB, params)
+        assert isinstance(s, UnoRCSender)
+        assert isinstance(s.path, UnoLB)
+        assert s.path.n_subflows == params.ec_data_pkts + params.ec_parity_pkts
+        assert s.base_rtt_ps == params.inter_rtt_ps
+        assert s.is_inter_dc
+
+    def test_intra_flow_is_plain_unocc(self, setup):
+        sim, params, topo = setup
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(0, 5),
+                           MIB, params)
+        assert not isinstance(s, UnoRCSender)
+        assert s.base_rtt_ps == params.intra_rtt_ps
+        assert not s.is_inter_dc
+
+    def test_use_rc_false_disables_ec(self, setup):
+        sim, params, topo = setup
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                           MIB, params, use_rc=False)
+        assert not isinstance(s, UnoRCSender)
+
+    def test_use_lb_false_gives_fixed_entropy(self, setup):
+        sim, params, topo = setup
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                           MIB, params, use_lb=False)
+        assert isinstance(s.path, FixedEntropy)
+
+    def test_path_override_wins(self, setup):
+        sim, params, topo = setup
+        custom = FixedEntropy(99)
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                           MIB, params, path=custom)
+        assert s.path is custom
+
+    def test_base_rtt_override(self, setup):
+        sim, params, topo = setup
+        s = start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                           MIB, params, base_rtt_ps=123_456_789)
+        assert s.base_rtt_ps == 123_456_789
+
+    def test_both_flow_kinds_complete(self, setup):
+        sim, params, topo = setup
+        done = []
+        start_uno_flow(sim, topo.net, topo.host(0, 0), topo.host(1, 0),
+                       MIB // 2, params, on_complete=done.append)
+        start_uno_flow(sim, topo.net, topo.host(0, 1), topo.host(0, 9),
+                       MIB // 2, params, on_complete=done.append)
+        sim.run(until=4_000_000_000_000)
+        assert len(done) == 2

@@ -1,0 +1,122 @@
+"""UnoLB: subflow round-robin, reroute rate limiting, retx steering."""
+
+import pytest
+
+from repro.core.unolb import UnoLB
+from repro.sim.engine import Simulator
+from repro.sim.packet import ACK, DATA, Packet
+from repro.sim.units import MIB, US
+from repro.topology.simple import incast_star
+from repro.transport.base import start_flow
+from repro.transport.dctcp import DCTCP
+
+
+class StubSender:
+    def __init__(self, sim, base_rtt=14 * US):
+        import random
+
+        self.sim = sim
+        self.base_rtt_ps = base_rtt
+        self.rng = random.Random(42)
+        self.flow_id = 1
+
+
+def data_pkt(retx=0):
+    p = Packet(DATA, 1, 0, 1, seq=0, size=4096)
+    p.retx = retx
+    return p
+
+
+def ack_pkt(subflow_entropy):
+    p = Packet(ACK, 1, 1, 0, seq=0, size=64)
+    p.dport = subflow_entropy  # ACKs carry the data packet's sport here
+    return p
+
+
+class TestRoundRobin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnoLB(n_subflows=0)
+
+    def test_cycles_through_all_subflows(self):
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=5)
+        lb.on_init(s)
+        seen = [lb.entropy(s, data_pkt()) for _ in range(10)]
+        assert seen[:5] == lb.entropies if seen[:5] == seen[5:] else True
+        assert seen[:5] == seen[5:]          # cycle repeats
+        assert len(set(seen[:5])) == 5       # all distinct
+
+    def test_block_spreads_over_n_paths(self):
+        """With n_subflows == block size, every packet of a block takes a
+        different path — the paper's EC-resilience integration."""
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=10)
+        lb.on_init(s)
+        block = [lb.entropy(s, data_pkt()) for _ in range(10)]
+        assert len(set(block)) == 10
+
+
+class TestReroute:
+    def test_reroute_replaces_stalest_subflow(self):
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=3)
+        lb.on_init(s)
+        e0, e1, e2 = lb.entropies
+        sim.now = 100 * US
+        lb.on_ack(s, ack_pkt(e1), 14 * US, False)
+        lb.on_ack(s, ack_pkt(e2), 14 * US, False)
+        # e0 never got an ACK -> it is the suspect.
+        lb.on_nack_or_timeout(s)
+        assert e0 not in lb.entropies
+        assert e1 in lb.entropies and e2 in lb.entropies
+        assert lb.reroutes == 1
+
+    def test_reroute_rate_limited_to_one_per_rtt(self):
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=3)
+        lb.on_init(s)
+        sim.now = 100 * US
+        lb.on_nack_or_timeout(s)
+        lb.on_nack_or_timeout(s)  # immediately again: suppressed
+        assert lb.reroutes == 1
+        sim.now = 100 * US + 15 * US  # > one base RTT later
+        lb.on_nack_or_timeout(s)
+        assert lb.reroutes == 2
+
+    def test_retransmissions_use_recently_acked_subflow(self):
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=4)
+        lb.on_init(s)
+        good = lb.entropies[2]
+        sim.now = 50 * US
+        lb.on_ack(s, ack_pkt(good), 14 * US, False)
+        for _ in range(10):
+            assert lb.entropy(s, data_pkt(retx=1)) == good
+
+    def test_retx_without_any_acks_falls_back_to_rr(self):
+        sim = Simulator()
+        s = StubSender(sim)
+        lb = UnoLB(n_subflows=4)
+        lb.on_init(s)
+        value = lb.entropy(s, data_pkt(retx=1))
+        assert value in lb.entropies
+
+
+class TestEndToEnd:
+    def test_flow_with_unolb_completes(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        done = []
+        start_flow(
+            sim, topo.net, DCTCP(), topo.senders[0], topo.receivers[0],
+            1 * MIB, base_rtt_ps=14 * US, path=UnoLB(n_subflows=10),
+            on_complete=done.append,
+        )
+        sim.run(until=10**12)
+        assert len(done) == 1

@@ -14,6 +14,8 @@ def test_fig10(once):
     # Paper shape at 40% load: full Uno beats both baselines on inter-DC
     # FCT (mean), and overall.
     c40 = cells[0.4]
-    assert c40["uno"]["inter"].mean_ps < c40["gemini"]["inter"].mean_ps
-    assert c40["uno"]["inter"].mean_ps < c40["mprdma_bbr"]["inter"].mean_ps
-    assert c40["uno"]["overall"].mean_ps < c40["gemini"]["overall"].mean_ps
+    assert c40["uno"]["inter"]["mean_ps"] < c40["gemini"]["inter"]["mean_ps"]
+    assert (c40["uno"]["inter"]["mean_ps"]
+            < c40["mprdma_bbr"]["inter"]["mean_ps"])
+    assert (c40["uno"]["overall"]["mean_ps"]
+            < c40["gemini"]["overall"]["mean_ps"])

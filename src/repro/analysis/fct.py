@@ -34,6 +34,21 @@ class FCTSummary:
     def p99_ms(self) -> float:
         return self.p99_ps / 1e9
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (base fields plus the derived unit views),
+        the shape experiment points return for caching."""
+        return {
+            "count": self.count,
+            "mean_ps": self.mean_ps,
+            "p50_ps": self.p50_ps,
+            "p99_ps": self.p99_ps,
+            "max_ps": self.max_ps,
+            "mean_us": self.mean_us,
+            "p99_us": self.p99_us,
+            "mean_ms": self.mean_ms,
+            "p99_ms": self.p99_ms,
+        }
+
 
 def summarize_fcts(stats: Iterable[SenderStats]) -> FCTSummary:
     """Mean / median / p99 / max FCT over completed flows.

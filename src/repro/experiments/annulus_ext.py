@@ -11,7 +11,7 @@ inter-DC tail FCT.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.analysis.fct import summarize_fcts
 from repro.coding.block import BlockConfig
@@ -20,12 +20,16 @@ from repro.core.params import UnoParams
 from repro.core.unocc import UnoCCConfig
 from repro.core.unolb import UnoLB
 from repro.core.unorc import UnoRCConfig, UnoRCReceiver, UnoRCSender
-from repro.experiments.harness import ExperimentScale
+from repro.experiments.api import ExperimentPoint
+from repro.experiments.harness import ExperimentScale, scale_for
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
 from repro.sim.switch import QCNConfig
 from repro.sim.units import MIB
 from repro.topology.multidc import MultiDC, MultiDCConfig
+
+DEFAULT_SEED = 14
+VARIANTS = ("uno", "uno+annulus")
 
 
 def _cc(params: UnoParams, annulus: bool) -> AnnulusUnoCC:
@@ -103,19 +107,40 @@ def run_variant(annulus: bool, scale: ExperimentScale, flow_bytes: int,
     }
 
 
-def run(quick: bool = True, seed: int = 14) -> Dict:
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per variant: plain Uno and Uno with the Annulus loop."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("annulus_ext", name,
+                        {"annulus": name == "uno+annulus", "quick": quick},
+                        seed=seed)
+        for name in VARIANTS
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One oversubscribed-WAN run, with or without the Annulus loop."""
+    cfg = point.cfg
+    scale = scale_for(cfg["quick"])
+    flow_bytes = 4 * MIB if cfg["quick"] else 64 * MIB
+    return run_variant(cfg["annulus"], scale, flow_bytes, point.seed)
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Order the two variants as the report table expects."""
+    return {name: results[name] for name in VARIANTS if name in results}
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
     """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
-    flow_bytes = 4 * MIB if quick else 64 * MIB
-    return {
-        "uno": run_variant(False, scale, flow_bytes, seed),
-        "uno+annulus": run_variant(True, scale, flow_bytes, seed),
-    }
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("annulus_ext", quick, seed=seed)
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = [
         [k, f"{v['fct_mean_ms']:.2f}", f"{v['fct_p99_ms']:.2f}",
          v["drops"], v["cnps"]]
@@ -128,6 +153,12 @@ def main(quick: bool = True) -> Dict:
         ["variant", "mean FCT ms", "p99 FCT ms", "drops", "CNPs"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -1,0 +1,108 @@
+"""On-disk JSON cache for completed experiment points.
+
+Layout (under a root directory, ``results/runs/points`` by default):
+
+    <root>/<experiment>/<name-slug>-<key16>.json
+
+where ``key16`` is the first 16 hex digits of the SHA-256 over the
+point's canonical identity (experiment, name, config, seed) plus the
+``repro`` package version — so a cache entry is invalidated by changing
+any knob of the point or upgrading the package, never by wall-clock
+state. Each file holds one canonical-JSON record::
+
+    {"config": {...}, "experiment": "fig8", "key": "...", "name":
+     "mixed/uno", "result": {...}, "seed": 3, "status": "ok",
+     "version": "1.0.0"}
+
+Only successful results are stored (failures and timeouts always
+re-run), nothing time-dependent is stored, and writes are atomic
+(tempfile + rename), so the same point produces byte-identical cache
+files whether it ran serially, in a worker pool, or after a resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import repro
+
+from repro.experiments.api import ExperimentPoint, canonical_json
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9.]+")
+
+
+def point_key(point: ExperimentPoint, version: Optional[str] = None) -> str:
+    """Stable hash of the point's full identity + package version."""
+    version = repro.__version__ if version is None else version
+    ident = dict(point.describe(), version=version)
+    return hashlib.sha256(canonical_json(ident).encode()).hexdigest()
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("_", name).strip("_") or "point"
+
+
+class ResultCache:
+    """Read/write completed point results under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.version = repro.__version__
+
+    def path_for(self, point: ExperimentPoint) -> Path:
+        """Cache file path for a point (exists or not)."""
+        key = point_key(point, self.version)
+        return (self.root / point.experiment /
+                f"{_slug(point.name)}-{key[:16]}.json")
+
+    def load(self, point: ExperimentPoint) -> Optional[Dict[str, Any]]:
+        """The cached ``result`` dict, or None on miss/corruption."""
+        path = self.path_for(point)
+        try:
+            record = _loads(path.read_bytes())
+        except (OSError, ValueError):
+            return None
+        if (record.get("status") == "ok"
+                and record.get("key") == point_key(point, self.version)
+                and isinstance(record.get("result"), dict)):
+            return record["result"]
+        return None
+
+    def store(self, point: ExperimentPoint, result: Dict[str, Any]) -> Path:
+        """Atomically write one completed point; returns the file path."""
+        record = dict(
+            point.describe(),
+            key=point_key(point, self.version),
+            result=result,
+            status="ok",
+            version=self.version,
+        )
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = (canonical_json(record) + "\n").encode()
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def _loads(payload: bytes) -> Dict[str, Any]:
+    import json
+
+    record = json.loads(payload)
+    if not isinstance(record, dict):
+        raise ValueError("cache record is not an object")
+    return record

@@ -9,11 +9,13 @@ compare its fairness against Uno's unified loop.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.analysis.fairness import jain_series
+from repro.experiments.api import ExperimentPoint
 from repro.experiments.fig3 import _smooth
-from repro.experiments.harness import ExperimentScale, build_multidc, make_launcher
+from repro.experiments.harness import (ExperimentScale, build_multidc,
+                                       make_launcher, scale_for)
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
 from repro.sim.trace import RateMonitor
@@ -22,6 +24,9 @@ from repro.transport.base import start_flow
 from repro.transport.bbr import BBR
 from repro.transport.hpcc import HPCC
 from repro.workloads.patterns import incast_specs
+
+DEFAULT_SEED = 21
+STACKS = ("hpcc_bbr", "uno")
 
 
 def run_hpcc_bbr(scale: ExperimentScale, window_ps: int, seed: int) -> Dict:
@@ -80,22 +85,42 @@ def _analyze(monitor: RateMonitor, senders) -> Dict:
     }
 
 
-def run(quick: bool = True, seed: int = 21) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    import dataclasses
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per stack: the HPCC+BBR split and Uno's unified loop."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("discussion_hpcc", stack,
+                        {"stack": stack, "quick": quick}, seed=seed)
+        for stack in STACKS
+    ]
 
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
-    scale = dataclasses.replace(scale, gbps=100.0, queue_bytes=1 * MIB)
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One stack's mixed-incast fairness run."""
+    cfg = point.cfg
+    quick = cfg["quick"]
+    scale = scale_for(quick, gbps=100.0, queue_bytes=1 * MIB)
     window = 100 * MS if quick else 400 * MS
-    return {
-        "hpcc_bbr": run_hpcc_bbr(scale, window, seed),
-        "uno": run_uno(scale, window, seed),
-    }
+    if cfg["stack"] == "hpcc_bbr":
+        return run_hpcc_bbr(scale, window, point.seed)
+    return run_uno(scale, window, point.seed)
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Order the two stacks as the report table expects."""
+    return {stack: results[stack] for stack in STACKS if stack in results}
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("discussion_hpcc", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = [
         [k, f"{v['tail_jain']:.3f}", f"{v['intra_gbps']:.1f}G",
          f"{v['inter_gbps']:.1f}G"]
@@ -108,6 +133,12 @@ def main(quick: bool = True) -> Dict:
         ["stack", "tail Jain", "intra sum", "inter sum"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -14,14 +14,17 @@ idle path.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.fct import ideal_fct_ps
+from repro.experiments.api import ExperimentPoint
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
 from repro.sim.units import GIB, KIB, MIB, MS, US
 from repro.topology.simple import incast_star
 from repro.transport.base import CongestionControl, start_flow
+
+DEFAULT_SEED = 0
 
 # The RTT series the paper plots (two intra-DC, three inter-DC).
 RTTS_PS = {
@@ -69,30 +72,57 @@ def _simulate_point(size_bytes: int, rtt_ps: int, gbps: float = 100.0) -> float:
     return rtt_ps / sender.stats.fct_ps
 
 
-def run(quick: bool = True, gbps: float = 100.0) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per analytic-vs-simulated validation cell (the analytic
+    curves are free and recomputed in ``summarize``); quick mode skips
+    the largest sizes."""
+    seed = DEFAULT_SEED if seed is None else seed
+    check_sizes = [64 * KIB, 1 * MIB] if quick else [64 * KIB, 1 * MIB, 16 * MIB]
+    return [
+        ExperimentPoint(
+            "fig1", f"check/{label}/{size}",
+            {"rtt_label": label, "size_bytes": size, "gbps": 100.0,
+             "quick": quick},
+            seed=seed,
+        )
+        for label in ("40us", "20ms")
+        for size in check_sizes
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """Validate the analytic model against one packet simulation."""
+    cfg = point.cfg
+    rtt = RTTS_PS[cfg["rtt_label"]]
+    return {
+        "rtt": cfg["rtt_label"],
+        "size": cfg["size_bytes"],
+        "analytic": propagation_fraction(cfg["size_bytes"], rtt, cfg["gbps"]),
+        "simulated": _simulate_point(cfg["size_bytes"], rtt, cfg["gbps"]),
+    }
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Recompute the analytic curves and order the validation checks."""
     curves: Dict[str, List[float]] = {}
     for label, rtt in RTTS_PS.items():
-        curves[label] = [propagation_fraction(s, rtt, gbps) for s in SIZES]
-
-    # Validate the analytic model against the packet simulator at a few
-    # (size, RTT) points; quick mode skips the largest sizes.
-    check_sizes = [64 * KIB, 1 * MIB] if quick else [64 * KIB, 1 * MIB, 16 * MIB]
-    checks = []
-    for label in ("40us", "20ms"):
-        for size in check_sizes:
-            analytic = propagation_fraction(size, RTTS_PS[label], gbps)
-            simulated = _simulate_point(size, RTTS_PS[label], gbps)
-            checks.append(
-                {"rtt": label, "size": size, "analytic": analytic,
-                 "simulated": simulated}
-            )
+        curves[label] = [propagation_fraction(s, rtt) for s in SIZES]
+    order = list(RTTS_PS)
+    checks = sorted(results.values(),
+                    key=lambda c: (order.index(c["rtt"]), c["size"]))
     return {"sizes": SIZES, "curves": curves, "checks": checks}
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig1", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     headers = ["size"] + list(RTTS_PS)
     rows = []
     for i, size in enumerate(res["sizes"]):
@@ -109,6 +139,12 @@ def main(quick: bool = True) -> Dict:
     for c in res["checks"]:
         print(f"  rtt={c['rtt']:>5} size={c['size']:>9}B  "
               f"analytic={c['analytic']:.3f}  simulated={c['simulated']:.3f}")
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -11,18 +11,20 @@ Slowdown = FCT / ideal FCT of the same flow on an idle path.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.fct import ideal_fct_ps
-from repro.experiments.harness import ExperimentScale
+from repro.experiments.api import ExperimentPoint
+from repro.experiments.harness import scale_for
 from repro.experiments.realistic import run_realistic
 from repro.experiments.report import print_experiment
 from repro.sim.units import MS, US
 
 SCHEMES = ("uno", "gemini", "mprdma_bbr")
 RATIOS = (8, 32, 128, 512)
+DEFAULT_SEED = 6
 
 
 def _slowdowns(result: Dict) -> Dict[str, float]:
@@ -40,28 +42,64 @@ def _slowdowns(result: Dict) -> Dict[str, float]:
     }
 
 
-def run(quick: bool = True, seed: int = 6) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per (RTT ratio, scheme) cell at 40% load."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("fig11", f"{ratio}x/{scheme}",
+                        {"ratio": ratio, "scheme": scheme, "quick": quick},
+                        seed=seed)
+        for ratio in RATIOS
+        for scheme in SCHEMES
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One cell: the realistic workload at a stretched inter-DC RTT;
+    slowdowns are reduced to scalars here (per-flow stats stay local)."""
+    cfg = point.cfg
+    quick = cfg["quick"]
+    scale = scale_for(quick)
     duration = 3 * MS if quick else 100 * MS
     max_flows = 2000 if quick else None
+    inter_rtt = cfg["ratio"] * 14 * US
+    r = run_realistic(
+        cfg["scheme"], 0.4, scale, seed=point.seed, duration_ps=duration,
+        max_flows=max_flows,
+        params_overrides={"inter_rtt_ps": inter_rtt},
+    )
+    return {
+        "ratio": cfg["ratio"],
+        "scheme": cfg["scheme"],
+        "n_flows": r["n_flows"],
+        "slowdown": _slowdowns(r),
+    }
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Group cells back into ratio -> scheme tables."""
     cells: Dict[int, Dict[str, Dict]] = {}
     for ratio in RATIOS:
-        inter_rtt = ratio * 14 * US
-        cells[ratio] = {}
-        for scheme in SCHEMES:
-            r = run_realistic(
-                scheme, 0.4, scale, seed=seed, duration_ps=duration,
-                max_flows=max_flows,
-                params_overrides={"inter_rtt_ps": inter_rtt},
-            )
-            cells[ratio][scheme] = {"result": r, "slowdown": _slowdowns(r)}
+        per = {
+            scheme: results[f"{ratio}x/{scheme}"]
+            for scheme in SCHEMES
+            if f"{ratio}x/{scheme}" in results
+        }
+        if per:
+            cells[ratio] = per
     return {"cells": cells}
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig11", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = []
     for ratio, per_scheme in res["cells"].items():
         for scheme, cell in per_scheme.items():
@@ -75,6 +113,12 @@ def main(quick: bool = True) -> Dict:
         ["RTT ratio", "scheme", "mean slowdown", "p99 slowdown"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

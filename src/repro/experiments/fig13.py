@@ -27,7 +27,8 @@ from repro.core.uno import make_unocc
 from repro.core.unolb import UnoLB
 from repro.core.unorc import UnoRCConfig, UnoRCReceiver, UnoRCSender
 from repro.coding.block import BlockConfig
-from repro.experiments.harness import ExperimentScale
+from repro.experiments.api import ExperimentPoint
+from repro.experiments.harness import ExperimentScale, scale_for
 from repro.experiments.report import print_experiment
 from repro.lb.plb import PLB
 from repro.sim.engine import Simulator
@@ -42,6 +43,8 @@ from repro.transport.base import FixedEntropy, start_flow
 from repro.workloads.allreduce import AllreduceConfig, RingAllreduce
 
 LB_SCHEMES = ("spray", "plb", "unolb")
+PARTS = ("A", "B", "C")
+DEFAULT_SEED = 8
 
 
 def make_topo(scale: ExperimentScale, params: UnoParams, lb: str,
@@ -250,31 +253,66 @@ def run_allreduce(lb: str, ec: bool, scale: ExperimentScale,
 
 # ----------------------------------------------------------------------
 
-def run(quick: bool = True, seed: int = 8) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
+def _variant_key(lb: str, ec: bool) -> str:
+    return f"{lb}{'+ec' if ec else ''}"
+
+
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per (scenario part, LB scheme, EC on/off) cell."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("fig13", f"{part}/{_variant_key(lb, ec)}",
+                        {"part": part, "lb": lb, "ec": ec, "quick": quick},
+                        seed=seed)
+        for part in PARTS
+        for lb in LB_SCHEMES
+        for ec in (False, True)
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One failure-scenario cell, dispatched by its ``part``."""
+    cfg = point.cfg
+    quick, lb, ec = cfg["quick"], cfg["lb"], cfg["ec"]
+    scale = scale_for(quick)
     repeats = 8 if quick else 100
-    flow_bytes_a = 5 * MIB if quick else 5 * MIB
-    flow_bytes_b = 2 * MIB if quick else 16 * MIB
+    if cfg["part"] == "A":
+        flow_bytes = 5 * MIB
+        return {"fcts_ms": run_link_failure(lb, ec, scale, flow_bytes,
+                                            repeats, point.seed)}
+    if cfg["part"] == "B":
+        flow_bytes = 2 * MIB if quick else 16 * MIB
+        return {"fcts_ms": run_random_loss(lb, ec, scale, flow_bytes,
+                                           repeats, point.seed)}
     iterations = 3 if quick else 100
     gradient = 8 * MIB if quick else 128 * MIB
+    return run_allreduce(lb, ec, scale, gradient, iterations, point.seed)
 
-    out: Dict[str, Dict] = {"A": {}, "B": {}, "C": {}}
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Regroup cells into the A/B/C scenario tables."""
+    out: Dict[str, Dict] = {part: {} for part in PARTS}
     for lb in LB_SCHEMES:
         for ec in (False, True):
-            key = f"{lb}{'+ec' if ec else ''}"
-            out["A"][key] = run_link_failure(lb, ec, scale, flow_bytes_a,
-                                             repeats, seed)
-            out["B"][key] = run_random_loss(lb, ec, scale, flow_bytes_b,
-                                            repeats, seed)
-            out["C"][key] = run_allreduce(lb, ec, scale, gradient,
-                                          iterations, seed)
+            key = _variant_key(lb, ec)
+            for part in PARTS:
+                cell = results.get(f"{part}/{key}")
+                if cell is None:
+                    continue
+                out[part][key] = cell["fcts_ms"] if part in ("A", "B") else cell
     return out
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig13", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured tables for a results dict."""
     rows_a = [
         [key, f"{np.mean(v):.2f}", f"{np.max(v):.2f}"]
         for key, v in res["A"].items()
@@ -308,6 +346,12 @@ def main(quick: bool = True) -> Dict:
         ["lb scheme", "mean slowdown", "p99 slowdown"],
         rows_c,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -11,21 +11,24 @@ the first time the index stays above 0.9.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.fairness import convergence_time_ps, jain_series
+from repro.experiments.api import ExperimentPoint
 from repro.experiments.harness import (
     ExperimentScale,
     build_multidc,
     make_launcher,
+    scale_for,
 )
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
 from repro.sim.trace import RateMonitor
-from repro.sim.units import GIB, MS
+from repro.sim.units import GIB, MIB, MS
 from repro.workloads.patterns import incast_specs
 
 SCHEMES = ("uno", "gemini", "mprdma_bbr")
+DEFAULT_SEED = 1
 
 
 def _smooth(series: List[float], k: int = 3) -> List[float]:
@@ -89,36 +92,55 @@ def run_scheme(
     }
 
 
-def run(quick: bool = True, seed: int = 1) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per scheme (the three convergence runs)."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("fig3", scheme, {"scheme": scheme, "quick": quick},
+                        seed=seed)
+        for scheme in SCHEMES
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One scheme's mixed-incast convergence run."""
+    cfg = point.cfg
+    quick = cfg["quick"]
     # Incast fairness needs the paper's per-flow fair-share windows to
     # stay above one MSS (100G/8 flows -> ~5 packets); the 25G quick
     # link rate would push intra flows into a sub-packet artifact regime.
     # Quick mode therefore only shrinks the fat-tree, not the link rate.
-    import dataclasses
-
-    from repro.sim.units import MIB
-
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
-    scale = dataclasses.replace(scale, gbps=100.0, queue_bytes=1 * MIB)
+    scale = scale_for(quick, gbps=100.0, queue_bytes=1 * MIB)
     # Inter-DC flows climb to the fair share at alpha/RTT ~ 50 Gbps/s
     # (Table 2's alpha = 0.001 BDP), so sustained J > 0.9 lands ~220 ms in.
     window_ps = 260 * MS if quick else 600 * MS
-    sample = 1 * MS
-    results = {
-        scheme: run_scheme(scheme, scale, window_ps, seed, sample)
-        for scheme in SCHEMES
-    }
+    result = run_scheme(cfg["scheme"], scale, window_ps, point.seed, 1 * MS)
+    result["window_ms"] = window_ps / 1e9
+    result["scale"] = "quick" if quick else "paper"
+    return result
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Assemble the per-scheme runs into the figure-level dict."""
+    ordered = {s: results[s] for s in SCHEMES if s in results}
+    first = next(iter(ordered.values()))
     return {
-        "scale": "quick" if quick else "paper",
-        "window_ms": window_ps / 1e9,
-        "results": results,
+        "scale": first["scale"],
+        "window_ms": first["window_ms"],
+        "results": ordered,
     }
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig3", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = []
     for scheme, r in res["results"].items():
         conv = "never" if r["convergence_ms"] is None else f"{r['convergence_ms']:.1f}ms"
@@ -137,6 +159,12 @@ def main(quick: bool = True) -> Dict:
          "inter sum", "bottleneck queue"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

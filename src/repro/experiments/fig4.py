@@ -11,18 +11,21 @@ tail FCT; without them, the standing physical queue inflates RPC latency.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.fct import summarize_fcts
 from repro.core.params import UnoParams
 from repro.core.uno import start_uno_flow
-from repro.experiments.harness import ExperimentScale
+from repro.experiments.api import ExperimentPoint
+from repro.experiments.harness import ExperimentScale, scale_for
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
 from repro.sim.trace import QueueMonitor
-from repro.sim.units import GIB, MS, US
+from repro.sim.units import GIB, MIB, MS, US
 from repro.topology.multidc import MultiDC, MultiDCConfig
 from repro.workloads.google_rpc import GOOGLE_RPC_CDF
+
+DEFAULT_SEED = 2
 
 
 def run_variant(
@@ -109,26 +112,44 @@ def run_variant(
     }
 
 
-def run(quick: bool = True, seed: int = 2) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """Two points: the incast+RPC run with and without phantom queues."""
+    seed = DEFAULT_SEED if seed is None else seed
+    return [
+        ExperimentPoint("fig4", "phantom" if phantom else "no-phantom",
+                        {"phantom": phantom, "quick": quick}, seed=seed)
+        for phantom in (True, False)
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One phantom-queue variant of the incast+RPC scenario."""
+    cfg = point.cfg
+    quick = cfg["quick"]
     # Like fig3/fig8, incast experiments keep the paper's 100G links and
     # 1 MiB buffers; quick mode only shrinks the fat-tree arity.
-    import dataclasses
-
-    from repro.sim.units import MIB
-
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
-    scale = dataclasses.replace(scale, gbps=100.0, queue_bytes=1 * MIB)
+    scale = scale_for(quick, gbps=100.0, queue_bytes=1 * MIB)
     window = 160 * MS if quick else 400 * MS
     n_rpc = 60 if quick else 400
-    with_pq = run_variant(True, scale, seed, window, n_rpc)
-    without_pq = run_variant(False, scale, seed, window, n_rpc)
-    return {"with_phantom": with_pq, "without_phantom": without_pq}
+    return run_variant(cfg["phantom"], scale, point.seed, window, n_rpc)
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Pair the with/without-phantom variants."""
+    return {"with_phantom": results["phantom"],
+            "without_phantom": results["no-phantom"]}
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig4", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     w, wo = res["with_phantom"], res["without_phantom"]
     rows = [
         ["no phantom", f"{wo['queue_mean_kb']:.0f}", f"{wo['queue_max_kb']:.0f}",
@@ -143,6 +164,12 @@ def main(quick: bool = True) -> Dict:
         ["variant", "queue mean KiB", "queue max KiB", "RPC mean us", "RPC p99 us"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -10,15 +10,18 @@ receiver-side bottleneck), matching the paper's setup.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import math
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.fairness import jain_index
 from repro.analysis.fct import summarize_fcts
+from repro.experiments.api import ExperimentPoint
 from repro.experiments.harness import (
     ExperimentScale,
     build_multidc,
     make_launcher,
     run_specs,
+    scale_for,
 )
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
@@ -32,6 +35,7 @@ SCENARIOS: List[Tuple[str, int, int]] = [
     ("inter-only", 0, 8),
     ("mixed", 4, 4),
 ]
+DEFAULT_SEED = 3
 
 
 def run_cell(scheme: str, n_intra: int, n_inter: int, flow_bytes: int,
@@ -75,37 +79,71 @@ def run_cell(scheme: str, n_intra: int, n_inter: int, flow_bytes: int,
     return {
         "fct_mean_ms": fct.mean_ms,
         "fct_p99_ms": fct.p99_ms,
-        "jain_mid": jain_mid,
+        # None (not NaN) when no mid-incast sample exists: the cell must
+        # stay JSON-serializable for the point cache.
+        "jain_mid": None if math.isnan(jain_mid) else jain_mid,
     }
 
 
-def run(quick: bool = True, seed: int = 3) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    # Keep the paper's 100G links so the 8-flow fair share stays a
-    # multi-packet window (see fig3.run for the rationale).
-    import dataclasses
-
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
-    scale = dataclasses.replace(scale, gbps=100.0, queue_bytes=1 * MIB)
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per (incast composition, scheme) cell."""
+    seed = DEFAULT_SEED if seed is None else seed
     flow_bytes = 16 * MIB if quick else 1024 * MIB
+    return [
+        ExperimentPoint(
+            "fig8", f"{name}/{scheme}",
+            {"scenario": name, "n_intra": n_intra, "n_inter": n_inter,
+             "scheme": scheme, "flow_bytes": flow_bytes, "quick": quick},
+            seed=seed,
+        )
+        for name, n_intra, n_inter in SCENARIOS
+        for scheme in SCHEMES
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One (scheme, incast composition) cell."""
+    cfg = point.cfg
+    # Keep the paper's 100G links so the 8-flow fair share stays a
+    # multi-packet window (see fig3.run_point for the rationale).
+    scale = scale_for(cfg["quick"], gbps=100.0, queue_bytes=1 * MIB)
+    cell = run_cell(cfg["scheme"], cfg["n_intra"], cfg["n_inter"],
+                    cfg["flow_bytes"], scale, point.seed)
+    cell["scenario"] = cfg["scenario"]
+    cell["scheme"] = cfg["scheme"]
+    cell["flow_bytes"] = cfg["flow_bytes"]
+    return cell
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Group cells back into scenario -> scheme tables."""
     out: Dict[str, Dict[str, Dict]] = {}
-    for name, n_intra, n_inter in SCENARIOS:
-        out[name] = {}
-        for scheme in SCHEMES:
-            out[name][scheme] = run_cell(
-                scheme, n_intra, n_inter, flow_bytes, scale, seed
-            )
+    for name, _n_intra, _n_inter in SCENARIOS:
+        out[name] = {
+            scheme: results[f"{name}/{scheme}"]
+            for scheme in SCHEMES
+            if f"{name}/{scheme}" in results
+        }
+    flow_bytes = next(iter(results.values()))["flow_bytes"]
     return {"scenarios": out, "flow_bytes": flow_bytes}
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig8", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = []
     for name, per_scheme in res["scenarios"].items():
         for scheme, r in per_scheme.items():
+            jain = "nan" if r["jain_mid"] is None else f"{r['jain_mid']:.3f}"
             rows.append([name, scheme, f"{r['fct_mean_ms']:.2f}",
-                         f"{r['fct_p99_ms']:.2f}", f"{r['jain_mid']:.3f}"])
+                         f"{r['fct_p99_ms']:.2f}", jain])
     print_experiment(
         "Figure 8: incast scenarios (8 equal flows to one receiver)",
         "Uno matches or beats the baselines in all three compositions and "
@@ -113,6 +151,12 @@ def main(quick: bool = True) -> Dict:
         ["scenario", "scheme", "mean FCT ms", "p99 FCT ms", "Jain(mid)"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -10,14 +10,16 @@ collisions on the border links), and both beat Gemini and MPRDMA+BBR.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.analysis.fct import summarize_fcts
+from repro.experiments.api import ExperimentPoint
 from repro.experiments.harness import (
     ExperimentScale,
     build_multidc,
     make_launcher,
     run_specs,
+    scale_for,
 )
 from repro.experiments.report import print_experiment
 from repro.sim.engine import Simulator
@@ -30,6 +32,7 @@ VARIANTS = (
     ("gemini", dict()),
     ("mprdma_bbr", dict()),
 )
+DEFAULT_SEED = 4
 
 
 def run_cell(scheme: str, provisioned: bool, flow_bytes: int,
@@ -64,22 +67,57 @@ def run_cell(scheme: str, provisioned: bool, flow_bytes: int,
     }
 
 
-def run(quick: bool = True, seed: int = 4) -> Dict:
-    """Run the experiment; ``quick`` selects the scaled-down configuration."""
-    scale = ExperimentScale.quick() if quick else ExperimentScale.paper()
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """One point per (provisioning, scheme) permutation cell."""
+    seed = DEFAULT_SEED if seed is None else seed
     flow_bytes = 4 * MIB if quick else 64 * MIB
+    return [
+        ExperimentPoint(
+            "fig9",
+            f"{'provisioned' if provisioned else 'as-is'}/{scheme}",
+            {"provisioned": provisioned, "scheme": scheme,
+             "flow_bytes": flow_bytes, "quick": quick},
+            seed=seed,
+        )
+        for provisioned in (False, True)
+        for scheme, _ in VARIANTS
+    ]
+
+
+def run_point(point: ExperimentPoint) -> Dict:
+    """One permutation cell."""
+    cfg = point.cfg
+    scale = scale_for(cfg["quick"])
+    cell = run_cell(cfg["scheme"], cfg["provisioned"], cfg["flow_bytes"],
+                    scale, point.seed)
+    cell["scheme"] = cfg["scheme"]
+    cell["provisioned"] = cfg["provisioned"]
+    cell["flow_bytes"] = cfg["flow_bytes"]
+    return cell
+
+
+def summarize(results: Dict[str, Dict]) -> Dict:
+    """Group cells into as-is vs provisioned tables."""
     out: Dict[str, Dict[str, Dict]] = {"as-is": {}, "provisioned": {}}
-    for provisioned in (False, True):
-        key = "provisioned" if provisioned else "as-is"
+    for key in out:
         for scheme, _ in VARIANTS:
-            out[key][scheme] = run_cell(scheme, provisioned, flow_bytes,
-                                        scale, seed)
+            name = f"{key}/{scheme}"
+            if name in results:
+                out[key][scheme] = results[name]
+    flow_bytes = next(iter(results.values()))["flow_bytes"]
     return {"variants": out, "flow_bytes": flow_bytes}
 
 
-def main(quick: bool = True) -> Dict:
-    """Run and print the paper-vs-measured table; returns the results dict."""
-    res = run(quick=quick)
+def run(quick: bool = True, seed: Optional[int] = None) -> Dict:
+    """Run the experiment; ``quick`` selects the scaled-down configuration."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment("fig9", quick, seed=seed)
+
+
+def report(res: Dict) -> None:
+    """Print the paper-vs-measured table for a results dict."""
     rows = []
     for key, per_scheme in res["variants"].items():
         for scheme, r in per_scheme.items():
@@ -92,6 +130,12 @@ def main(quick: bool = True) -> Dict:
         ["topology", "scheme", "mean FCT ms", "p99 FCT ms", "inter mean ms"],
         rows,
     )
+
+
+def main(quick: bool = True) -> Dict:
+    """Run and print the paper-vs-measured table; returns the results dict."""
+    res = run(quick=quick)
+    report(res)
     return res
 
 

@@ -81,6 +81,14 @@ class ExperimentScale:
         return UnoParams(**base)
 
 
+def scale_for(quick: bool, **overrides) -> ExperimentScale:
+    """The preset for ``quick`` with field overrides applied — how a
+    point's ``config`` (quick flag + scalar knobs) turns back into an
+    :class:`ExperimentScale` inside ``run_point``."""
+    base = ExperimentScale.quick() if quick else ExperimentScale.paper()
+    return replace(base, **overrides) if overrides else base
+
+
 def build_multidc(
     sim: Simulator,
     scheme: str,

@@ -1,0 +1,67 @@
+"""Terminal progress streaming for experiment sweeps.
+
+One line per completed point — points done/total, percent, per-point
+status and duration, elapsed wall clock, and an ETA extrapolated from
+the mean rate so far. Lines go to stderr so result tables on stdout
+stay machine-readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``0.4s``, ``12s``, ``3m05s``, ``2h04m``."""
+    if seconds < 10:
+        return f"{seconds:.1f}s"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressPrinter:
+    """Stream per-point completion lines for a sweep of known size."""
+
+    def __init__(self, total: int, stream: Optional[TextIO] = None,
+                 clock=time.monotonic) -> None:
+        self.total = total
+        self.done = 0
+        self.failed = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._t0 = clock()
+
+    def update(self, point_id: str, status: str, elapsed_s: float,
+               cached: bool = False) -> None:
+        """Record one finished point and print its progress line."""
+        self.done += 1
+        if status != "ok":
+            self.failed += 1
+        wall = self._clock() - self._t0
+        remaining = self.total - self.done
+        eta = (wall / self.done) * remaining if self.done else 0.0
+        tag = "cached" if cached else status
+        line = (
+            f"[{self.done}/{self.total}] {point_id}: {tag} "
+            f"({format_duration(elapsed_s)}) "
+            f"elapsed {format_duration(wall)} eta {format_duration(eta)}"
+        )
+        print(line, file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Print the sweep summary line."""
+        wall = self._clock() - self._t0
+        status = "all ok" if not self.failed else f"{self.failed} FAILED"
+        print(
+            f"[{self.done}/{self.total}] sweep done in "
+            f"{format_duration(wall)} ({status})",
+            file=self.stream, flush=True,
+        )

@@ -72,3 +72,18 @@ def run_realistic(
     result["intra_stats"] = intra
     result["inter_stats"] = inter
     return result
+
+
+def cell_json(result: Dict) -> Dict:
+    """The JSON-serializable core of a ``run_realistic`` cell — what a
+    Fig 10/11/12 point returns (and caches): scalar metadata plus FCT
+    summaries, without the per-flow stats objects."""
+    return {
+        "scheme": result["scheme"],
+        "load": result["load"],
+        "n_flows": result["n_flows"],
+        "drops": result["drops"],
+        "overall": result["overall"].to_dict(),
+        "intra": result["intra"].to_dict() if result["intra"] else None,
+        "inter": result["inter"].to_dict() if result["inter"] else None,
+    }

@@ -1,7 +1,14 @@
-"""Run every paper experiment in sequence and print all the tables.
+"""Run every paper experiment and print all the tables.
 
 Usage:
     python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
+        [--jobs N] [--resume] [--seed S] [--out DIR] [--timeout SECS]
+
+All selected experiments are decomposed into independent points first,
+then the whole point set is executed by one runner pass — so ``--jobs``
+parallelism and ``--resume`` caching work across experiment boundaries.
+Completed points are cached under ``<out>/points`` and per-experiment
+summaries are written to ``<out>/summaries/<name>.json``.
 
 Quick mode (default) takes minutes on one core; --paper takes hours.
 """
@@ -9,20 +16,41 @@ Quick mode (default) takes minutes on one core; --paper takes hours.
 from __future__ import annotations
 
 import argparse
-import importlib
-import time
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
 
-ALL = ["fig1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
-       "fig13", "table1", "ablations", "annulus_ext", "discussion_hpcc"]
+from repro.experiments.api import EXPERIMENTS, canonical_json, experiment_module
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import failures, results_by_name, run_points
+
+ALL = list(EXPERIMENTS)
 
 
-def main(argv=None) -> None:
-    """Parse arguments and run the selected experiments in order."""
+def build_parser() -> argparse.ArgumentParser:
+    """The run_all command-line interface."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper", action="store_true",
                         help="full paper-scale runs instead of quick mode")
     parser.add_argument("--only", type=str, default="",
                         help="comma-separated subset, e.g. fig3,table1")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for point execution (>= 1)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip points already completed in the cache")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override every experiment's default seed")
+    parser.add_argument("--out", type=str, default="results/runs",
+                        help="output root for the point cache and summaries")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in seconds (kills the worker)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Parse arguments and run the selected experiments in order."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     targets = ALL
@@ -31,13 +59,53 @@ def main(argv=None) -> None:
         unknown = set(targets) - set(ALL)
         if unknown:
             parser.error(f"unknown experiments: {sorted(unknown)}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     quick = not args.paper
+    out = Path(args.out)
+    cache = ResultCache(out / "points")
+
+    modules = {name: experiment_module(name) for name in targets}
+    points = [p for name in targets
+              for p in modules[name].points(quick, seed=args.seed)]
+    records = run_points(
+        points, jobs=args.jobs, cache=cache, resume=args.resume,
+        timeout_s=args.timeout, progress=True,
+    )
+
+    summaries_dir = out / "summaries"
+    summaries_dir.mkdir(parents=True, exist_ok=True)
     for name in targets:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        t0 = time.time()
-        module.main(quick=quick)
-        print(f"[{name} done in {time.time() - t0:.1f}s]")
+        module = modules[name]
+        per = [r for r in records if r.point.experiment == name]
+        failed = failures(per)
+        if failed:
+            for r in failed:
+                info = r.error or {}
+                print(f"[{name} FAILED: {r.point.id} {r.status}: "
+                      f"{info.get('type', '?')}: {info.get('message', '')}]",
+                      file=sys.stderr)
+            continue
+        res = module.summarize(results_by_name(per, experiment=name))
+        module.report(res)
+        (summaries_dir / f"{name}.json").write_text(
+            _summary_json(res) + "\n")
+        elapsed = sum(r.elapsed_s for r in per)
+        print(f"[{name} done in {elapsed:.1f}s]")
+
+    if failures(records):
+        raise SystemExit(1)
+
+
+def _summary_json(res) -> str:
+    """Canonical JSON when possible; repr-stringified fallback for
+    summaries that carry non-JSON values (e.g. calibrated model params)."""
+    try:
+        return canonical_json(res)
+    except (TypeError, ValueError):
+        return json.dumps(res, sort_keys=True, default=repr,
+                          separators=(",", ":"))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,264 @@
+"""Parallel, cached, resumable execution engine for experiment points.
+
+:func:`run_points` takes any list of :class:`ExperimentPoint` s (from one
+module or many) and executes them:
+
+- **in parallel** — ``jobs=N`` fans points out over N worker processes
+  (each point builds its own ``Simulator``, so points are embarrassingly
+  parallel);
+- **cached** — with a :class:`~repro.experiments.cache.ResultCache`,
+  every completed point is persisted as canonical JSON keyed by a stable
+  hash of its config + package version;
+- **resumable** — ``resume=True`` serves cache hits without re-running
+  them, so an interrupted sweep continues where it stopped;
+- **fail-soft** — a point that raises or exceeds ``timeout_s`` becomes a
+  structured failure record instead of aborting the sweep (timed-out
+  workers are terminated).
+
+Results are identical between execution modes: a point's result is the
+canonical-JSON normalization of ``run_point(point)``, computed the same
+way inline, in a worker, or read back from disk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.api import (
+    ExperimentPoint,
+    execute_point,
+    experiment_module,
+)
+from repro.experiments.cache import ResultCache
+from repro.experiments.progress import ProgressPrinter
+
+_POLL_S = 0.02
+
+
+@dataclass
+class PointRecord:
+    """Outcome of one point: its result or a structured failure."""
+
+    point: ExperimentPoint
+    status: str                       # "ok" | "error" | "timeout"
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, str]] = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point completed successfully."""
+        return self.status == "ok"
+
+
+def run_points(
+    points: Sequence[ExperimentPoint],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    timeout_s: Optional[float] = None,
+    progress: bool = False,
+) -> List[PointRecord]:
+    """Execute every point; returns one record per point, input order.
+
+    ``jobs=1`` runs inline in this process (unless ``timeout_s`` is set,
+    which always uses worker processes so a stuck point can be killed).
+    ``resume`` requires ``cache`` and skips points whose result is
+    already on disk; without ``resume`` everything re-runs and the cache
+    is refreshed.
+    """
+    points = list(points)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if resume and cache is None:
+        raise ValueError("resume=True requires a cache")
+    seen: Dict[str, ExperimentPoint] = {}
+    for point in points:
+        if point.id in seen and seen[point.id] != point:
+            raise ValueError(f"duplicate point id {point.id!r} with "
+                             f"conflicting definitions")
+        seen[point.id] = point
+
+    printer = ProgressPrinter(len(points)) if progress else None
+    records: Dict[int, PointRecord] = {}
+    todo: List[int] = []
+    for i, point in enumerate(points):
+        hit = cache.load(point) if (resume and cache is not None) else None
+        if hit is not None:
+            records[i] = PointRecord(point, "ok", result=hit, cached=True)
+            if printer:
+                printer.update(point.id, "ok", 0.0, cached=True)
+        else:
+            todo.append(i)
+
+    if jobs == 1 and timeout_s is None:
+        _run_inline(points, todo, records, cache, printer)
+    else:
+        _run_pool(points, todo, records, cache, printer, jobs, timeout_s)
+
+    if printer:
+        printer.finish()
+    return [records[i] for i in range(len(points))]
+
+
+def _run_inline(points, todo, records, cache, printer) -> None:
+    for i in todo:
+        point = points[i]
+        t0 = time.monotonic()
+        try:
+            result = execute_point(point)
+            record = PointRecord(point, "ok", result=result)
+        except Exception as exc:  # fail-soft: record, keep sweeping
+            record = PointRecord(point, "error", error=_error_info(exc))
+        record.elapsed_s = time.monotonic() - t0
+        _commit(record, records, i, cache, printer)
+
+
+def _run_pool(points, todo, records, cache, printer, jobs, timeout_s) -> None:
+    ctx = multiprocessing.get_context()
+    pending = list(todo)
+    running: Dict[Any, tuple] = {}  # proc -> (index, conn, t0)
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                i = pending.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_worker,
+                                   args=(points[i], child_conn))
+                proc.start()
+                child_conn.close()
+                running[proc] = (i, parent_conn, time.monotonic())
+            for proc in list(running):
+                i, conn, t0 = running[proc]
+                record = _reap(points[i], proc, conn, t0, timeout_s)
+                if record is None:
+                    continue
+                del running[proc]
+                _commit(record, records, i, cache, printer)
+            if running:
+                time.sleep(_POLL_S)
+    finally:
+        for proc, (i, conn, t0) in running.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+
+
+def _reap(point, proc, conn, t0, timeout_s) -> Optional[PointRecord]:
+    """One poll of a worker: its record when finished, else None."""
+    elapsed = time.monotonic() - t0
+    if conn.poll():
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError):
+            status, payload = "error", {
+                "type": "WorkerError",
+                "message": "worker pipe closed before sending a result",
+            }
+        proc.join()
+        conn.close()
+        if status == "ok":
+            return PointRecord(point, "ok", result=payload,
+                               elapsed_s=elapsed)
+        return PointRecord(point, "error", error=payload, elapsed_s=elapsed)
+    if timeout_s is not None and elapsed > timeout_s:
+        proc.terminate()
+        proc.join()
+        conn.close()
+        return PointRecord(
+            point, "timeout", elapsed_s=elapsed,
+            error={"type": "Timeout",
+                   "message": f"point exceeded timeout of {timeout_s}s"},
+        )
+    if not proc.is_alive():
+        proc.join()
+        conn.close()
+        return PointRecord(
+            point, "error", elapsed_s=elapsed,
+            error={"type": "WorkerDied",
+                   "message": f"worker exited with code {proc.exitcode} "
+                              f"without returning a result"},
+        )
+    return None
+
+
+def _worker(point: ExperimentPoint, conn) -> None:
+    """Worker-process entry: run one point, ship the outcome back."""
+    try:
+        result = execute_point(point)
+        conn.send(("ok", result))
+    except BaseException as exc:
+        try:
+            conn.send(("error", _error_info(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _error_info(exc: BaseException) -> Dict[str, str]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _commit(record, records, i, cache, printer) -> None:
+    records[i] = record
+    if cache is not None and record.ok and not record.cached:
+        cache.store(record.point, record.result)
+    if printer:
+        printer.update(record.point.id, record.status, record.elapsed_s,
+                       cached=record.cached)
+
+
+# ----------------------------------------------------------------------
+# Reducers over record lists
+# ----------------------------------------------------------------------
+
+def results_by_name(records: Sequence[PointRecord],
+                    experiment: Optional[str] = None) -> Dict[str, Dict]:
+    """``{point.name: result}`` over successful records (optionally one
+    experiment's) — the shape every module's ``summarize`` consumes."""
+    return {
+        r.point.name: r.result
+        for r in records
+        if r.ok and (experiment is None or r.point.experiment == experiment)
+    }
+
+
+def failures(records: Sequence[PointRecord]) -> List[PointRecord]:
+    """The records that did not complete successfully."""
+    return [r for r in records if not r.ok]
+
+
+def raise_failures(records: Sequence[PointRecord]) -> None:
+    """Re-raise the first failure as RuntimeError (the strict path used
+    by ``module.run()`` so benchmarks still see exceptions)."""
+    failed = failures(records)
+    if not failed:
+        return
+    first = failed[0]
+    info = first.error or {}
+    detail = info.get("traceback") or info.get("message") or ""
+    raise RuntimeError(
+        f"{first.point.id} {first.status}: "
+        f"{info.get('type', '?')}: {info.get('message', '')}\n{detail}"
+    )
+
+
+def run_experiment(name: str, quick: bool = True,
+                   seed: Optional[int] = None, **runner_kwargs) -> Dict:
+    """``summarize(run_points(points(quick)))`` for one module — the
+    compatibility core behind every experiment's ``run()``."""
+    module = experiment_module(name)
+    records = run_points(module.points(quick, seed=seed), **runner_kwargs)
+    raise_failures(records)
+    return module.summarize(results_by_name(records, experiment=name))

@@ -1,9 +1,12 @@
-"""CLI surface of repro.experiments.run_all (argument handling only —
-the heavy runs are exercised by benchmarks)."""
+"""CLI surface of repro.experiments.run_all (argument handling and the
+cheap fig1 dispatch path — the heavy runs are exercised by benchmarks)."""
+
+import json
 
 import pytest
 
 from repro.experiments import run_all
+from repro.experiments.api import EXPERIMENTS
 
 
 class TestArgs:
@@ -11,10 +14,14 @@ class TestArgs:
         with pytest.raises(SystemExit):
             run_all.main(["--only", "fig99"])
 
-    def test_known_subset_parses_and_runs_fig1(self, capsys):
+    def test_bad_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--only", "fig1", "--jobs", "0"])
+
+    def test_known_subset_parses_and_runs_fig1(self, capsys, tmp_path):
         # fig1 is the only sub-second experiment; use it to exercise the
         # full dispatch path.
-        run_all.main(["--only", "fig1"])
+        run_all.main(["--only", "fig1", "--out", str(tmp_path)])
         out = capsys.readouterr().out
         assert "Figure 1B" in out
         assert "[fig1 done" in out
@@ -22,7 +29,39 @@ class TestArgs:
     def test_all_targets_are_importable(self):
         import importlib
 
+        assert run_all.ALL == EXPERIMENTS
         for name in run_all.ALL:
             module = importlib.import_module(f"repro.experiments.{name}")
             assert hasattr(module, "run")
             assert hasattr(module, "main")
+
+
+class TestOutputLayout:
+    def test_cache_and_summary_written(self, capsys, tmp_path):
+        run_all.main(["--only", "fig1", "--out", str(tmp_path)])
+        capsys.readouterr()
+        points = list((tmp_path / "points" / "fig1").glob("*.json"))
+        assert len(points) == 4  # quick mode: 2 RTTs x 2 sizes
+        summary = json.loads((tmp_path / "summaries" / "fig1.json")
+                             .read_text())
+        assert set(summary) == {"sizes", "curves", "checks"}
+
+    def test_resume_skips_cached_points(self, capsys, tmp_path):
+        run_all.main(["--only", "fig1", "--out", str(tmp_path)])
+        capsys.readouterr()
+        stamps = {p: p.stat().st_mtime_ns
+                  for p in (tmp_path / "points" / "fig1").glob("*.json")}
+        run_all.main(["--only", "fig1", "--out", str(tmp_path), "--resume",
+                      "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "[fig1 done" in out
+        for p, stamp in stamps.items():
+            assert p.stat().st_mtime_ns == stamp
+
+    def test_seed_override_changes_cache_keys(self, capsys, tmp_path):
+        run_all.main(["--only", "fig1", "--out", str(tmp_path)])
+        run_all.main(["--only", "fig1", "--out", str(tmp_path),
+                      "--seed", "99"])
+        capsys.readouterr()
+        # Different seeds hash to different cache entries side by side.
+        assert len(list((tmp_path / "points" / "fig1").glob("*.json"))) == 8

@@ -1,0 +1,198 @@
+"""The point API and the parallel/cached/resumable runner.
+
+Uses ``repro.experiments.selftest`` (cheap deterministic points with
+opt-in failure modes) so the engine's guarantees — byte-identical
+results across execution modes, cache hits on resume, structured
+failures, timeouts — are tested without heavy simulations.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.experiments import selftest
+from repro.experiments.api import (
+    EXPERIMENTS,
+    ExperimentPoint,
+    canonical_json,
+    execute_point,
+    experiment_module,
+    normalize_result,
+)
+from repro.experiments.cache import ResultCache, point_key
+from repro.experiments.runner import (
+    failures,
+    raise_failures,
+    results_by_name,
+    run_points,
+)
+
+
+def _cache_bytes(cache, points):
+    return {p.id: cache.path_for(p).read_bytes() for p in points}
+
+
+class TestExperimentPoint:
+    def test_config_normalized_and_hashable(self):
+        a = ExperimentPoint("e", "n", {"b": 2, "a": 1}, seed=3)
+        b = ExperimentPoint("e", "n", (("a", 1), ("b", 2)), seed=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.cfg == {"a": 1, "b": 2}
+        assert a.id == "e:n"
+
+    def test_non_scalar_config_rejected(self):
+        with pytest.raises(TypeError):
+            ExperimentPoint("e", "n", {"bad": [1, 2]})
+
+    def test_picklable(self):
+        p = selftest.points()[0]
+        assert pickle.loads(pickle.dumps(p)) == p
+
+    def test_describe_round_trips_through_canonical_json(self):
+        p = selftest.points()[0]
+        assert canonical_json(p.describe()) == canonical_json(p.describe())
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_normalize_result_requires_dict(self):
+        with pytest.raises(TypeError):
+            normalize_result([1, 2])
+
+
+class TestProtocolAcrossModules:
+    @pytest.mark.parametrize("name", EXPERIMENTS)
+    def test_points_are_wellformed(self, name):
+        module = experiment_module(name)
+        pts = module.points(quick=True)
+        assert pts, f"{name}.points() returned no work"
+        ids = [p.id for p in pts]
+        assert len(set(ids)) == len(ids)
+        for p in pts:
+            assert p.experiment == name
+            assert pickle.loads(pickle.dumps(p)) == p
+            canonical_json(p.describe())
+
+    @pytest.mark.parametrize("name", EXPERIMENTS)
+    def test_module_speaks_full_protocol(self, name):
+        module = experiment_module(name)
+        for attr in ("points", "run_point", "summarize", "run", "report",
+                     "main", "DEFAULT_SEED"):
+            assert hasattr(module, attr), f"{name} missing {attr}"
+
+    def test_seed_override_propagates(self):
+        for p in selftest.points(seed=77):
+            assert p.seed >= 77
+        assert selftest.points()[0].seed == selftest.DEFAULT_SEED
+
+
+class TestCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        p = selftest.points()[0]
+        result = execute_point(p)
+        path = cache.store(p, result)
+        assert path.exists()
+        assert cache.load(p) == result
+
+    def test_key_depends_on_identity_and_version(self):
+        p = selftest.points()[0]
+        changed = ExperimentPoint(p.experiment, p.name, p.config, seed=999)
+        assert point_key(p) != point_key(changed)
+        assert point_key(p) != point_key(p, version="other")
+        assert point_key(p) == point_key(p)
+
+    def test_miss_on_absent_or_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        p = selftest.points()[0]
+        assert cache.load(p) is None
+        path = cache.path_for(p)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json")
+        assert cache.load(p) is None
+
+
+class TestRunnerDeterminism:
+    def test_serial_parallel_resume_byte_identical(self, tmp_path):
+        pts = selftest.points()
+        serial_cache = ResultCache(tmp_path / "serial")
+        serial = run_points(pts, cache=serial_cache)
+        par_cache = ResultCache(tmp_path / "par")
+        parallel = run_points(pts, jobs=4, cache=par_cache)
+
+        assert [r.result for r in serial] == [r.result for r in parallel]
+        assert _cache_bytes(serial_cache, pts) == _cache_bytes(par_cache, pts)
+
+        # Resume from a half-populated cache: hits are served from disk
+        # (not re-executed), misses run, and the files end up identical.
+        resume_cache = ResultCache(tmp_path / "resume")
+        half = pts[: len(pts) // 2]
+        run_points(half, cache=resume_cache)
+        stamps = {p.id: resume_cache.path_for(p).stat().st_mtime_ns
+                  for p in half}
+        resumed = run_points(pts, jobs=2, cache=resume_cache, resume=True)
+        assert [r.result for r in resumed] == [r.result for r in serial]
+        assert [r.cached for r in resumed] == (
+            [True] * len(half) + [False] * (len(pts) - len(half)))
+        for p in half:  # cached files were not rewritten
+            assert resume_cache.path_for(p).stat().st_mtime_ns == stamps[p.id]
+        assert _cache_bytes(resume_cache, pts) == _cache_bytes(
+            serial_cache, pts)
+
+    def test_summarize_matches_run(self, tmp_path):
+        records = run_points(selftest.points())
+        res = selftest.summarize(results_by_name(records,
+                                                 experiment="selftest"))
+        assert res == selftest.run()
+        assert 0.4 < res["grand_mean"] < 0.6
+
+
+class TestRunnerFailureModes:
+    def _failing_point(self):
+        return ExperimentPoint("selftest", "boom",
+                               {"mode": "fail", "quick": True}, seed=1)
+
+    def test_failure_becomes_structured_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = selftest.points()[0]
+        records = run_points([good, self._failing_point()], cache=cache)
+        ok, bad = records
+        assert ok.ok and not bad.ok
+        assert bad.status == "error"
+        assert bad.error["type"] == "ValueError"
+        assert "asked to fail" in bad.error["message"]
+        assert not cache.path_for(bad.point).exists()  # failures not cached
+        with pytest.raises(RuntimeError, match="selftest:boom"):
+            raise_failures(records)
+        assert failures(records) == [bad]
+
+    def test_failure_in_worker_matches_inline(self):
+        inline = run_points([self._failing_point()])[0]
+        pooled = run_points([self._failing_point()], jobs=2)[0]
+        assert inline.status == pooled.status == "error"
+        assert inline.error["type"] == pooled.error["type"]
+
+    def test_timeout_kills_worker(self):
+        p = ExperimentPoint("selftest", "stuck",
+                            {"mode": "sleep", "sleep_s": 30.0, "quick": True},
+                            seed=1)
+        record = run_points([p], timeout_s=0.2)[0]
+        assert record.status == "timeout"
+        assert record.elapsed_s < 10
+
+    def test_duplicate_conflicting_ids_rejected(self):
+        a = ExperimentPoint("e", "n", {"x": 1})
+        b = ExperimentPoint("e", "n", {"x": 2})
+        with pytest.raises(ValueError, match="duplicate"):
+            run_points([a, b])
+        # An exact repeat is not a conflict.
+        assert len(run_points([])) == 0
+
+    def test_bad_jobs_and_resume_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_points([], jobs=0)
+        with pytest.raises(ValueError):
+            run_points([], resume=True)

@@ -157,6 +157,15 @@ class UnoCC(CongestionControl):
         g = cfg.ewma_g
         frac = summary.ecn_fraction
         self.ecn_ewma = (1 - g) * self.ecn_ewma + g * frac
+        obs = sender.sim.obs
+        if obs is not None:
+            obs.metrics.counter("unocc.epochs").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("epoch"):
+                ev.emit("epoch", "summary", t=sender.sim.now,
+                        flow=sender.flow_id, ecn_frac=frac,
+                        ecn_ewma=self.ecn_ewma, md_scale=self.md_scale,
+                        cwnd=sender.cwnd)
         if self._slow_start:
             if frac >= 0.5:
                 self._slow_start = False  # persistent congestion: exit SS
@@ -175,6 +184,8 @@ class UnoCC(CongestionControl):
                 cfg.md_scale_floor, self.md_scale * cfg.md_gentle_scale
             )
             self.gentle_md_events += 1
+            if obs is not None:
+                obs.metrics.counter("unocc.gentle_md_events").inc()
         else:
             self.md_scale = 1.0
         k = cfg.k_bytes
@@ -184,6 +195,8 @@ class UnoCC(CongestionControl):
         if sender.cwnd < sender.mss:
             sender.cwnd = float(sender.mss)
         self.md_events += 1
+        if obs is not None:
+            obs.metrics.counter("unocc.md_events").inc()
 
     # -- Quick Adapt ------------------------------------------------------
 
@@ -221,6 +234,13 @@ class UnoCC(CongestionControl):
                     int(sender.srtt_ps), sender.base_rtt_ps
                 )
                 self.qa_triggers += 1
+                obs = sender.sim.obs
+                if obs is not None:
+                    obs.metrics.counter("unocc.qa_triggers").inc()
+                    ev = obs.events
+                    if ev is not None and ev.wants("cwnd"):
+                        ev.emit("cwnd", "quick_adapt", t=now,
+                                flow=sender.flow_id, new=sender.cwnd)
                 if cfg.use_pacing:
                     sender.pacing_rate_gbps = min(
                         sender.line_gbps, sender.rate_estimate_gbps

@@ -92,3 +92,13 @@ class UnoLB(PathSelector):
         self.entropies[stalest_i] = new
         self._last_ack_ps.setdefault(new, -1)
         self.reroutes += 1
+        # getattr: unit tests drive selectors with minimal sender stubs.
+        sim = getattr(sender, "sim", None)
+        obs = sim.obs if sim is not None else None
+        if obs is not None:
+            obs.metrics.counter("lb.unolb_reroutes").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("route"):
+                ev.emit("route", "reroute", t=sim.now,
+                        flow=sender.flow_id, lb="unolb",
+                        old=old, new=new)

@@ -103,6 +103,8 @@ class UnoRCSender(Sender):
                 self._parity_enqueued.add(b)
                 base = self.parity_base(b)
                 self._parity_queue.extend(range(base, base + y))
+                if self._obs is not None:
+                    self._obs.metrics.counter("ec.blocks_encoded").inc()
         else:
             offset = (seq - self.total_data_pkts) % self.rc.block.parity_pkts
             pkt.block_pos = self.block_data_n(b) + offset
@@ -140,6 +142,8 @@ class UnoRCSender(Sender):
         self._block_complete.add(b)
         self._block_data_acked.pop(b, None)
         self._blocks_completed += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("ec.blocks_completed").inc()
         # Retire every unacked sequence of the block: the data is proven
         # delivered (directly or decoded), so nothing needs retransmitting.
         x = self.rc.block.data_pkts
@@ -168,6 +172,8 @@ class UnoRCSender(Sender):
         if b is None or b >= self.n_blocks or b in self._block_complete:
             return
         self.stats.nacks_received += 1
+        if self._counters is not None:
+            self._counters["nacks_received"].inc()
         x = self.rc.block.data_pkts
         # Only retransmit copies old enough that they cannot merely be in
         # flight or queued behind congestion: the NACK reflects what the
@@ -206,6 +212,8 @@ class UnoRCReceiver(Receiver):
         self.nacks_sent = 0
         self.blocks_decoded_with_parity = 0
         self._sender_src: Optional[int] = None
+        self._obs = sim.obs
+        self._events = self._obs.events if self._obs is not None else None
 
     def attach_sender(self, sender: UnoRCSender) -> None:
         """Learn the block layout from the sender (both endpoints are
@@ -257,6 +265,8 @@ class UnoRCReceiver(Receiver):
         if missing_data:
             # Data recovered from parity: tell the sender to stop waiting.
             self.blocks_decoded_with_parity += 1
+            if self._obs is not None:
+                self._obs.metrics.counter("ec.blocks_recovered").inc()
             self._send_block_complete(b)
 
     def _send_block_complete(self, b: int) -> None:
@@ -287,6 +297,12 @@ class UnoRCReceiver(Receiver):
             return  # give up NACKing; the sender's RTO is the backstop
         self._nack_counts[b] = count + 1
         self.nacks_sent += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("ec.nacks_sent").inc()
+            ev = self._events
+            if ev is not None and ev.wants("nack"):
+                ev.emit("nack", "sent", t=self.sim.now,
+                        flow=self.flow_id, block=b, attempt=count + 1)
         assert self._sender_src is not None, "receiver not attached"
         nack = make_nack(
             self.flow_id, src=self.host.node_id, dst=self._sender_src, block_id=b

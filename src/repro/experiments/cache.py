@@ -14,10 +14,15 @@ state. Each file holds one canonical-JSON record::
      "mixed/uno", "result": {...}, "seed": 3, "status": "ok",
      "version": "1.0.0"}
 
-Only successful results are stored (failures and timeouts always
-re-run), nothing time-dependent is stored, and writes are atomic
-(tempfile + rename), so the same point produces byte-identical cache
-files whether it ran serially, in a worker pool, or after a resume.
+Only successful results are served by :meth:`ResultCache.load` (failures
+and timeouts always re-run), nothing time-dependent is stored, and
+writes are atomic (tempfile + rename), so the same point produces
+byte-identical cache files whether it ran serially, in a worker pool, or
+after a resume.
+
+Failures leave a *separate* record at ``<name-slug>-<key16>.error.json``
+(type, message, full traceback) so a crashed sweep can be diagnosed
+after the fact; a later successful run of the same point removes it.
 """
 
 from __future__ import annotations
@@ -60,6 +65,11 @@ class ResultCache:
         return (self.root / point.experiment /
                 f"{_slug(point.name)}-{key[:16]}.json")
 
+    def failure_path_for(self, point: ExperimentPoint) -> Path:
+        """Failure-record path for a point; distinct from ``path_for`` so
+        failures are never served as results."""
+        return self.path_for(point).with_suffix(".error.json")
+
     def load(self, point: ExperimentPoint) -> Optional[Dict[str, Any]]:
         """The cached ``result`` dict, or None on miss/corruption."""
         path = self.path_for(point)
@@ -82,7 +92,43 @@ class ResultCache:
             status="ok",
             version=self.version,
         )
-        path = self.path_for(point)
+        path = self._write(self.path_for(point), record)
+        # Success supersedes any failure record from an earlier attempt.
+        try:
+            self.failure_path_for(point).unlink()
+        except OSError:
+            pass
+        return path
+
+    # -- failure records -------------------------------------------------
+
+    def store_failure(self, point: ExperimentPoint, status: str,
+                      error: Dict[str, Any]) -> Path:
+        """Persist a structured failure (``status`` "error"/"timeout",
+        ``error`` with type/message/traceback) beside where the result
+        would live. Never served by :meth:`load`."""
+        record = dict(
+            point.describe(),
+            key=point_key(point, self.version),
+            error=error,
+            status=status,
+            version=self.version,
+        )
+        return self._write(self.failure_path_for(point), record)
+
+    def load_failure(self, point: ExperimentPoint) -> Optional[Dict[str, Any]]:
+        """The stored failure record (full dict incl. ``error``), or None."""
+        try:
+            record = _loads(self.failure_path_for(point).read_bytes())
+        except (OSError, ValueError):
+            return None
+        if (record.get("status") in ("error", "timeout")
+                and record.get("key") == point_key(point, self.version)
+                and isinstance(record.get("error"), dict)):
+            return record
+        return None
+
+    def _write(self, path: Path, record: Dict[str, Any]) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = (canonical_json(record) + "\n").encode()
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

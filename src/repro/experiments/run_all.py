@@ -3,12 +3,20 @@
 Usage:
     python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
         [--jobs N] [--resume] [--seed S] [--out DIR] [--timeout SECS]
+        [--telemetry]
 
 All selected experiments are decomposed into independent points first,
 then the whole point set is executed by one runner pass — so ``--jobs``
 parallelism and ``--resume`` caching work across experiment boundaries.
 Completed points are cached under ``<out>/points`` and per-experiment
 summaries are written to ``<out>/summaries/<name>.json``.
+
+``--telemetry`` additionally records, for every freshly-executed point,
+the merged counter snapshot, event tally, and engine profile of all
+simulators the point built, written to
+``<out>/telemetry/<experiment>/<point-file>.json`` plus one aggregated
+``<out>/telemetry/<experiment>/summary.json`` per experiment. Points
+served from the cache did not run and therefore carry no telemetry.
 
 Quick mode (default) takes minutes on one core; --paper takes hours.
 """
@@ -45,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output root for the point cache and summaries")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-point timeout in seconds (kills the worker)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="write per-point counter/event/profile "
+                             "snapshots under <out>/telemetry/")
     return parser
 
 
@@ -71,8 +82,11 @@ def main(argv: Optional[List[str]] = None) -> None:
               for p in modules[name].points(quick, seed=args.seed)]
     records = run_points(
         points, jobs=args.jobs, cache=cache, resume=args.resume,
-        timeout_s=args.timeout, progress=True,
+        timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
     )
+
+    if args.telemetry:
+        write_telemetry(out / "telemetry", records, cache)
 
     summaries_dir = out / "summaries"
     summaries_dir.mkdir(parents=True, exist_ok=True)
@@ -96,6 +110,71 @@ def main(argv: Optional[List[str]] = None) -> None:
 
     if failures(records):
         raise SystemExit(1)
+
+
+def write_telemetry(telemetry_dir: Path, records, cache: ResultCache) -> None:
+    """Write per-point telemetry JSON plus one summary per experiment.
+
+    Layout mirrors the point cache: each freshly-executed point gets
+    ``<dir>/<experiment>/<name-slug>-<key16>.json`` (same stem as its
+    cache file) holding the point identity, status, timing, and the
+    merged metrics/events/profile snapshot. ``summary.json`` in each
+    experiment directory indexes the points and aggregates their
+    numeric telemetry with :func:`repro.obs.merge_numeric`.
+    """
+    from repro.obs import merge_numeric
+
+    by_experiment: dict = {}
+    for record in records:
+        by_experiment.setdefault(record.point.experiment, []).append(record)
+
+    for experiment, recs in sorted(by_experiment.items()):
+        exp_dir = telemetry_dir / experiment
+        exp_dir.mkdir(parents=True, exist_ok=True)
+        index = {}
+        merged_metrics = None
+        merged_profile = None
+        merged_events = None
+        fresh = 0
+        for record in recs:
+            filename = cache.path_for(record.point).name
+            entry = {
+                "status": record.status,
+                "cached": record.cached,
+                "elapsed_s": record.elapsed_s,
+                "file": filename if record.telemetry is not None else None,
+            }
+            index[record.point.name] = entry
+            telem = record.telemetry
+            if telem is None:
+                continue
+            fresh += 1
+            merged_metrics = merge_numeric(merged_metrics,
+                                           telem.get("metrics"))
+            merged_profile = merge_numeric(merged_profile,
+                                           telem.get("profile"))
+            merged_events = merge_numeric(merged_events, telem.get("events"))
+            point_doc = dict(
+                point=record.point.describe(),
+                status=record.status,
+                elapsed_s=record.elapsed_s,
+                **telem,
+            )
+            (exp_dir / filename).write_text(_summary_json(point_doc) + "\n")
+        if merged_profile is not None and merged_profile.get("wall_s"):
+            merged_profile["events_per_sec"] = (
+                merged_profile["events"] / merged_profile["wall_s"]
+            )
+        summary = {
+            "experiment": experiment,
+            "points": index,
+            "points_total": len(recs),
+            "points_with_telemetry": fresh,
+            "metrics": merged_metrics or {},
+            "profile": merged_profile,
+            "events": merged_events,
+        }
+        (exp_dir / "summary.json").write_text(_summary_json(summary) + "\n")
 
 
 def _summary_json(res) -> str:

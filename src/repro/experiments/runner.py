@@ -12,8 +12,13 @@ module or many) and executes them:
 - **resumable** — ``resume=True`` serves cache hits without re-running
   them, so an interrupted sweep continues where it stopped;
 - **fail-soft** — a point that raises or exceeds ``timeout_s`` becomes a
-  structured failure record instead of aborting the sweep (timed-out
-  workers are terminated).
+  structured failure record (with the full traceback) instead of
+  aborting the sweep (timed-out workers are terminated); with a cache,
+  failures are persisted as ``.error.json`` records for post-mortems;
+- **observable** — ``telemetry=True`` wraps every point in a
+  :class:`~repro.obs.TelemetryContext`, so each record carries the merged
+  counter snapshot, event tally, and engine profile of all simulators the
+  point built (inline or in a worker process).
 
 Results are identical between execution modes: a point's result is the
 canonical-JSON normalization of ``run_point(point)``, computed the same
@@ -35,6 +40,7 @@ from repro.experiments.api import (
 )
 from repro.experiments.cache import ResultCache
 from repro.experiments.progress import ProgressPrinter
+from repro.obs import TelemetryContext
 
 _POLL_S = 0.02
 
@@ -49,6 +55,7 @@ class PointRecord:
     error: Optional[Dict[str, str]] = None
     elapsed_s: float = 0.0
     cached: bool = False
+    telemetry: Optional[Dict[str, Any]] = None  # set when telemetry=True
 
     @property
     def ok(self) -> bool:
@@ -64,6 +71,7 @@ def run_points(
     resume: bool = False,
     timeout_s: Optional[float] = None,
     progress: bool = False,
+    telemetry: bool = False,
 ) -> List[PointRecord]:
     """Execute every point; returns one record per point, input order.
 
@@ -71,7 +79,9 @@ def run_points(
     which always uses worker processes so a stuck point can be killed).
     ``resume`` requires ``cache`` and skips points whose result is
     already on disk; without ``resume`` everything re-runs and the cache
-    is refreshed.
+    is refreshed. ``telemetry`` attaches a counter/event/profile snapshot
+    to each freshly-executed record (cache hits carry none — they did
+    not run).
     """
     points = list(points)
     if jobs < 1:
@@ -98,29 +108,44 @@ def run_points(
             todo.append(i)
 
     if jobs == 1 and timeout_s is None:
-        _run_inline(points, todo, records, cache, printer)
+        _run_inline(points, todo, records, cache, printer, telemetry)
     else:
-        _run_pool(points, todo, records, cache, printer, jobs, timeout_s)
+        _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
+                  telemetry)
 
     if printer:
         printer.finish()
     return [records[i] for i in range(len(points))]
 
 
-def _run_inline(points, todo, records, cache, printer) -> None:
+def _run_inline(points, todo, records, cache, printer, telemetry) -> None:
     for i in todo:
         point = points[i]
         t0 = time.monotonic()
-        try:
-            result = execute_point(point)
-            record = PointRecord(point, "ok", result=result)
-        except Exception as exc:  # fail-soft: record, keep sweeping
-            record = PointRecord(point, "error", error=_error_info(exc))
+        record, telem = _execute_one(point, telemetry)
         record.elapsed_s = time.monotonic() - t0
+        record.telemetry = telem
         _commit(record, records, i, cache, printer)
 
 
-def _run_pool(points, todo, records, cache, printer, jobs, timeout_s) -> None:
+def _execute_one(point, telemetry):
+    """Run one point (optionally under a TelemetryContext); fail-soft."""
+    ctx = TelemetryContext(event_topics="all") if telemetry else None
+    try:
+        if ctx is not None:
+            with ctx:
+                result = execute_point(point)
+        else:
+            result = execute_point(point)
+        record = PointRecord(point, "ok", result=result)
+    except Exception as exc:  # fail-soft: record, keep sweeping
+        record = PointRecord(point, "error", error=_error_info(exc))
+    # Partial telemetry from a failed point is still a diagnostic asset.
+    return record, (ctx.collect() if ctx is not None else None)
+
+
+def _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
+              telemetry=False) -> None:
     ctx = multiprocessing.get_context()
     pending = list(todo)
     running: Dict[Any, tuple] = {}  # proc -> (index, conn, t0)
@@ -130,7 +155,7 @@ def _run_pool(points, todo, records, cache, printer, jobs, timeout_s) -> None:
                 i = pending.pop(0)
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(target=_worker,
-                                   args=(points[i], child_conn))
+                                   args=(points[i], child_conn, telemetry))
                 proc.start()
                 child_conn.close()
                 running[proc] = (i, parent_conn, time.monotonic())
@@ -155,18 +180,19 @@ def _reap(point, proc, conn, t0, timeout_s) -> Optional[PointRecord]:
     elapsed = time.monotonic() - t0
     if conn.poll():
         try:
-            status, payload = conn.recv()
+            status, payload, telem = conn.recv()
         except (EOFError, OSError):
-            status, payload = "error", {
+            status, payload, telem = "error", {
                 "type": "WorkerError",
                 "message": "worker pipe closed before sending a result",
-            }
+            }, None
         proc.join()
         conn.close()
         if status == "ok":
             return PointRecord(point, "ok", result=payload,
-                               elapsed_s=elapsed)
-        return PointRecord(point, "error", error=payload, elapsed_s=elapsed)
+                               elapsed_s=elapsed, telemetry=telem)
+        return PointRecord(point, "error", error=payload, elapsed_s=elapsed,
+                           telemetry=telem)
     if timeout_s is not None and elapsed > timeout_s:
         proc.terminate()
         proc.join()
@@ -188,14 +214,17 @@ def _reap(point, proc, conn, t0, timeout_s) -> Optional[PointRecord]:
     return None
 
 
-def _worker(point: ExperimentPoint, conn) -> None:
+def _worker(point: ExperimentPoint, conn, telemetry: bool = False) -> None:
     """Worker-process entry: run one point, ship the outcome back."""
     try:
-        result = execute_point(point)
-        conn.send(("ok", result))
+        record, telem = _execute_one(point, telemetry)
+        if record.ok:
+            conn.send(("ok", record.result, telem))
+        else:
+            conn.send((record.status, record.error, telem))
     except BaseException as exc:
         try:
-            conn.send(("error", _error_info(exc)))
+            conn.send(("error", _error_info(exc), None))
         except Exception:
             pass
     finally:
@@ -203,17 +232,25 @@ def _worker(point: ExperimentPoint, conn) -> None:
 
 
 def _error_info(exc: BaseException) -> Dict[str, str]:
+    """Structured failure info with the exception's *full* traceback
+    (``format_exception`` on the instance, so it works even outside the
+    handling ``except`` block)."""
     return {
         "type": type(exc).__name__,
         "message": str(exc),
-        "traceback": traceback.format_exc(),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
     }
 
 
 def _commit(record, records, i, cache, printer) -> None:
     records[i] = record
-    if cache is not None and record.ok and not record.cached:
-        cache.store(record.point, record.result)
+    if cache is not None and not record.cached:
+        if record.ok:
+            cache.store(record.point, record.result)
+        elif record.error is not None:
+            cache.store_failure(record.point, record.status, record.error)
     if printer:
         printer.update(record.point.id, record.status, record.elapsed_s,
                        cached=record.cached)

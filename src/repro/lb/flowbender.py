@@ -57,5 +57,16 @@ class Flowbender(PathSelector):
         self._repath(sender)
 
     def _repath(self, sender: Sender) -> None:
+        old = self._entropy
         self._entropy = sender.rng.getrandbits(16)
         self.repaths += 1
+        # getattr: unit tests drive selectors with minimal sender stubs.
+        sim = getattr(sender, "sim", None)
+        obs = sim.obs if sim is not None else None
+        if obs is not None:
+            obs.metrics.counter("lb.flowbender_repaths").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("route"):
+                ev.emit("route", "repath", t=sim.now,
+                        flow=sender.flow_id, lb="flowbender",
+                        old=old, new=self._entropy)

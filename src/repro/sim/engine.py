@@ -10,7 +10,12 @@ is how retransmission timers and block timers are rescheduled cheaply.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro import obs as _obs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class EventHandle:
@@ -43,6 +48,14 @@ class Simulator:
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._n_executed: int = 0
+        # Telemetry bundle (repro.obs). None by default: every component
+        # caches this at construction, so the disabled path costs one
+        # ``is None`` test. A TelemetryContext in force at construction
+        # time attaches a bundle here automatically.
+        self.obs: Optional["Observability"] = None
+        ctx = _obs.active_context()
+        if ctx is not None:
+            ctx.attach(self)
 
     # -- scheduling ------------------------------------------------------
 
@@ -74,7 +87,13 @@ class Simulator:
         ``max_events`` have executed. Returns the number of events executed
         by this call. After running with ``until``, ``now`` is advanced to
         ``until`` even if the heap emptied earlier.
+
+        With ``sim.obs.profile`` set, an instrumented loop that times
+        every callback runs instead; the lean loop below is untouched by
+        telemetry (the check is per ``run()`` call, not per event).
         """
+        if self.obs is not None and self.obs.profile is not None:
+            return self._run_profiled(until, max_events)
         executed = 0
         heap = self._heap
         while heap:
@@ -94,6 +113,41 @@ class Simulator:
         ):
             self.now = until
         self._n_executed += executed
+        return executed
+
+    def _run_profiled(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Same semantics as the lean loop in :meth:`run`, with every
+        callback timed and attributed to its site by the profiler."""
+        profiler = self.obs.profile
+        clock = profiler.clock
+        executed = 0
+        heap = self._heap
+        t_loop = clock()
+        while heap:
+            time, _, handle = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            fn = handle.fn
+            t0 = clock()
+            fn(*handle.args)
+            profiler.account(fn, clock() - t0)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and self.now < until and (
+            not heap or heap[0][0] > until
+        ):
+            self.now = until
+        self._n_executed += executed
+        profiler.add_wall(clock() - t_loop)
         return executed
 
     def step(self) -> bool:

@@ -139,6 +139,13 @@ def schedule_link_failure(
     repair_after_ps: Optional[int] = None,
 ) -> None:
     """Fail ``link`` at ``fail_at_ps``; optionally repair after a delay."""
+    obs = sim.obs
+    if obs is not None:
+        obs.metrics.counter("failures.scheduled").inc()
+        ev = obs.events
+        if ev is not None and ev.wants("failure"):
+            ev.emit("failure", "scheduled", t=sim.now, link=link.name,
+                    fail_at=fail_at_ps, repair_after=repair_after_ps)
     sim.at(fail_at_ps, link.fail)
     if repair_after_ps is not None:
         sim.at(fail_at_ps + repair_after_ps, link.restore)

@@ -46,6 +46,16 @@ class Host:
         self.endpoints: Dict[int, Endpoint] = {}
         self.rx_pkts = 0
         self.orphan_pkts = 0
+        obs = sim.obs
+        if obs is not None:
+            self._register_metrics(obs.metrics)
+
+    def _register_metrics(self, registry) -> None:
+        from repro.obs.metrics import metric_key
+
+        base = f"host.{metric_key(self.name)}"
+        registry.gauge(f"{base}.rx_pkts", lambda: self.rx_pkts)
+        registry.gauge(f"{base}.orphan_pkts", lambda: self.orphan_pkts)
 
     # -- endpoint registry -------------------------------------------------
 

@@ -33,6 +33,9 @@ class Link:
         "delivered_pkts",
         "lost_pkts",
         "failed_drops",
+        "failures",
+        "_obs",
+        "_events",
     )
 
     def __init__(
@@ -56,6 +59,21 @@ class Link:
         self.delivered_pkts = 0
         self.lost_pkts = 0
         self.failed_drops = 0
+        self.failures = 0  # administrative fail() transitions
+        self._obs = sim.obs
+        self._events = self._obs.events if self._obs is not None else None
+        if self._obs is not None:
+            self._register_metrics(self._obs.metrics)
+
+    def _register_metrics(self, registry) -> None:
+        from repro.obs.metrics import metric_key
+
+        base = f"link.{metric_key(self.name)}"
+        registry.gauge(f"{base}.delivered_pkts", lambda: self.delivered_pkts)
+        registry.gauge(f"{base}.lost_pkts", lambda: self.lost_pkts)
+        registry.gauge(f"{base}.failed_drops", lambda: self.failed_drops)
+        registry.gauge(f"{base}.failures", lambda: self.failures)
+        registry.gauge(f"{base}.up", lambda: self.up)
 
     def transmit(self, pkt: Packet) -> None:
         """Called by the port when serialization completes."""
@@ -64,6 +82,10 @@ class Link:
             return
         if self.loss_model is not None and self.loss_model(pkt, self.sim.now):
             self.lost_pkts += 1
+            ev = self._events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "pkt_loss", t=self.sim.now,
+                        link=self.name, flow=pkt.flow_id, seq=pkt.seq)
             return
         self.sim.after(self.prop_ps, self._deliver, pkt)
 
@@ -77,9 +99,23 @@ class Link:
 
     def fail(self) -> None:
         self.up = False
+        self.failures += 1
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.counter("failures.link_down").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "link_down", t=self.sim.now,
+                        link=self.name)
 
     def restore(self) -> None:
         self.up = True
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.counter("failures.link_up").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "link_up", t=self.sim.now, link=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "up" if self.up else "DOWN"

@@ -138,8 +138,11 @@ class Port:
         "drops",
         "enqueued_pkts",
         "marked_pkts",
+        "red_marked_pkts",
+        "phantom_marked_pkts",
         "tx_bytes",
         "monitor",
+        "_events",
         "int_t_ref_ps",
         "_int_win_start",
         "_int_win_bytes",
@@ -176,8 +179,17 @@ class Port:
         self.drops = 0
         self.enqueued_pkts = 0
         self.marked_pkts = 0
+        self.red_marked_pkts = 0      # marks decided by physical RED
+        self.phantom_marked_pkts = 0  # marks decided by the phantom queue
         self.tx_bytes = 0
-        self.monitor = None  # optional callable(port, event_str, pkt)
+        # Optional callable(port, event, pkt, info): fired on "drop" and
+        # "mark"; for marks ``info`` carries the decision
+        # {"phys": bool, "phantom": bool} (a mark may come from both).
+        self.monitor = None
+        obs = sim.obs
+        self._events = obs.events if obs is not None else None
+        if obs is not None:
+            self._register_metrics(obs.metrics)
         # In-band network telemetry (for HPCC-class transports): when
         # enabled, every transmitted packet carries the max per-hop
         # utilization U = qlen/(B*T) + txRate/B along its path.
@@ -185,6 +197,21 @@ class Port:
         self._int_win_start = 0
         self._int_win_bytes = 0
         self._int_rate = 0.0  # bytes per ps over the last window
+
+    def _register_metrics(self, registry) -> None:
+        from repro.obs.metrics import metric_key
+
+        base = f"port.{metric_key(self.name)}"
+        registry.gauge(f"{base}.enqueued_pkts", lambda: self.enqueued_pkts)
+        registry.gauge(f"{base}.drops", lambda: self.drops)
+        registry.gauge(f"{base}.marked_pkts", lambda: self.marked_pkts)
+        registry.gauge(f"{base}.red_marked_pkts",
+                       lambda: self.red_marked_pkts)
+        registry.gauge(f"{base}.phantom_marked_pkts",
+                       lambda: self.phantom_marked_pkts)
+        registry.gauge(f"{base}.tx_bytes", lambda: self.tx_bytes)
+        registry.gauge(f"{base}.queued_pkts", lambda: len(self._fifo))
+        registry.gauge(f"{base}.queued_bytes", lambda: self.bytes_queued)
 
     def enable_int(self, t_ref_ps: int) -> None:
         """Turn on INT stamping with HPCC's base-RTT reference ``T``."""
@@ -210,18 +237,41 @@ class Port:
     def enqueue(self, pkt: Packet) -> bool:
         """Offer a packet; returns False if it was tail-dropped."""
         now = self.sim.now
+        ev = self._events
         if self.bytes_queued + pkt.size > self.capacity_bytes:
             self.drops += 1
+            if ev is not None and ev.wants("queue"):
+                ev.emit("queue", "drop", t=now, port=self.name,
+                        flow=pkt.flow_id, seq=pkt.seq, size=pkt.size,
+                        queued_bytes=self.bytes_queued)
             if self.monitor is not None:
-                self.monitor(self, "drop", pkt)
+                self.monitor(self, "drop", pkt, {})
             return False
-        marked = self._red_marks(self.bytes_queued)
-        if self.phantom is not None:
-            marked = self.phantom.on_enqueue(pkt.size, now) or marked
-        if marked:
+        # RNG draw order (RED first, then phantom) is load-bearing: it
+        # must not depend on whether telemetry is attached.
+        red_marked = self._red_marks(self.bytes_queued)
+        phantom_marked = (
+            self.phantom.on_enqueue(pkt.size, now)
+            if self.phantom is not None else False
+        )
+        if red_marked or phantom_marked:
             pkt.ecn = True
             self.marked_pkts += 1
+            if red_marked:
+                self.red_marked_pkts += 1
+            if phantom_marked:
+                self.phantom_marked_pkts += 1
+            if ev is not None and ev.wants("queue"):
+                ev.emit("queue", "mark", t=now, port=self.name,
+                        flow=pkt.flow_id, seq=pkt.seq,
+                        phys=red_marked, phantom=phantom_marked)
+            if self.monitor is not None:
+                self.monitor(self, "mark", pkt,
+                             {"phys": red_marked, "phantom": phantom_marked})
         self.enqueued_pkts += 1
+        if ev is not None and ev.wants("queue"):
+            ev.emit("queue", "enqueue", t=now, port=self.name,
+                    flow=pkt.flow_id, seq=pkt.seq, size=pkt.size)
         self._fifo.append(pkt)
         self.bytes_queued += pkt.size
         if not self._busy:

@@ -75,6 +75,8 @@ class Switch:
         "nexthops",
         "_rng",
         "rx_pkts",
+        "sprayed_pkts",
+        "multipath_pkts",
         "qcn",
         "_qcn_last_ps",
         "cnps_sent",
@@ -102,9 +104,23 @@ class Switch:
         self.nexthops: Dict[int, Tuple["Port", ...]] = {}
         self._rng = rng or random.Random(node_id)
         self.rx_pkts = 0
+        self.sprayed_pkts = 0     # random-spray choices over >1 ports
+        self.multipath_pkts = 0   # ECMP-hash choices over >1 ports
         self.qcn: Optional[QCNConfig] = None
         self._qcn_last_ps: Dict[int, int] = {}  # flow id -> last CNP time
         self.cnps_sent = 0
+        obs = sim.obs
+        if obs is not None:
+            self._register_metrics(obs.metrics)
+
+    def _register_metrics(self, registry) -> None:
+        from repro.obs.metrics import metric_key
+
+        base = f"switch.{metric_key(self.name)}"
+        registry.gauge(f"{base}.rx_pkts", lambda: self.rx_pkts)
+        registry.gauge(f"{base}.sprayed_pkts", lambda: self.sprayed_pkts)
+        registry.gauge(f"{base}.multipath_pkts", lambda: self.multipath_pkts)
+        registry.gauge(f"{base}.cnps_sent", lambda: self.cnps_sent)
 
     def set_mode(self, mode: str) -> None:
         if mode not in self.MODES:
@@ -123,9 +139,11 @@ class Switch:
             port = choices[0]
         elif self.mode == "rps":
             port = choices[self._rng.randrange(len(choices))]
+            self.sprayed_pkts += 1
         else:
             idx = flow_hash(pkt.src, pkt.dst, pkt.sport, pkt.dport, self.salt)
             port = choices[idx % len(choices)]
+            self.multipath_pkts += 1
         if (
             self.qcn is not None
             and pkt.kind == DATA

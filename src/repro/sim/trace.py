@@ -2,16 +2,38 @@
 
 These are the instrumentation the paper's plots need — queue occupancy
 over time (Fig 4), per-flow sending rates (Figs 3, 8) — implemented as
-self-rescheduling simulator events.
+self-rescheduling simulator events. Sample storage is an
+:class:`repro.obs.metrics.TimeSeries`; when the simulator has telemetry
+enabled the series is registered in its metrics registry (under
+``trace.queue.*`` / ``trace.rate.*``) so monitor data shows up in
+snapshots alongside counters and gauges.
+
+Both monitors are cancellable: :meth:`QueueMonitor.stop` /
+:meth:`RateMonitor.stop` cancel the pending self-rescheduled event, so a
+monitor can't keep an otherwise-idle event loop alive.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import TimeSeries, metric_key
+
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import EventHandle, Simulator
     from repro.sim.queues import Port
+
+
+def _backing_series(sim: "Simulator", prefix: str) -> TimeSeries:
+    """A registry-owned series when telemetry is on, standalone otherwise.
+
+    Registry names get a deterministic ``.0``/``.1`` suffix so two
+    monitors on the same target never share (and interleave) one series.
+    """
+    obs = sim.obs
+    if obs is None:
+        return TimeSeries(prefix)
+    return obs.metrics.series(obs.metrics.unique_name(prefix))
 
 
 class QueueMonitor:
@@ -30,25 +52,39 @@ class QueueMonitor:
         self.port = port
         self.interval_ps = interval_ps
         self.stop_ps = stop_ps
-        self.samples: List[Tuple[int, int, float]] = []  # (t, phys, phantom)
-        sim.after(0, self._sample)
+        self._series = _backing_series(
+            sim, f"trace.queue.{metric_key(port.name)}"
+        )
+        self._stopped = False
+        self._next: Optional["EventHandle"] = sim.after(0, self._sample)
+
+    @property
+    def samples(self) -> List[Tuple[int, int, float]]:
+        """``(t, phys_bytes, phantom_bytes)`` rows, oldest first."""
+        return self._series.rows
 
     def _sample(self) -> None:
+        self._next = None
         now = self.sim.now
-        if self.stop_ps is not None and now > self.stop_ps:
+        if self._stopped or (self.stop_ps is not None and now > self.stop_ps):
             return
-        self.samples.append(
-            (now, self.port.occupancy_bytes(), self.port.phantom_occupancy())
+        self._series.append(
+            now, self.port.occupancy_bytes(), self.port.phantom_occupancy()
         )
-        self.sim.after(self.interval_ps, self._sample)
+        self._next = self.sim.after(self.interval_ps, self._sample)
+
+    def stop(self) -> None:
+        """Cancel the pending sample; the collected samples stay readable."""
+        self._stopped = True
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
 
     def max_physical(self) -> int:
-        return max((s[1] for s in self.samples), default=0)
+        return self._series.max(1)
 
     def mean_physical(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(s[1] for s in self.samples) / len(self.samples)
+        return self._series.mean(1)
 
 
 class RateMonitor:
@@ -56,6 +92,7 @@ class RateMonitor:
 
     ``probe`` maps a flow object to its cumulative acked byte count; the
     monitor differentiates between samples to produce rates in Gbps.
+    Each sample is one time-series row ``(t, rate_0, ..., rate_n-1)``.
     """
 
     def __init__(
@@ -73,24 +110,42 @@ class RateMonitor:
         self.probe = probe
         self.interval_ps = interval_ps
         self.stop_ps = stop_ps
-        self.times: List[int] = []
-        self.rates_gbps: List[List[float]] = [[] for _ in self.flows]
+        self._series = _backing_series(sim, "trace.rate")
         self._last = [0] * len(self.flows)
-        sim.after(interval_ps, self._sample)
+        self._stopped = False
+        self._next: Optional["EventHandle"] = sim.after(
+            interval_ps, self._sample
+        )
+
+    @property
+    def times(self) -> List[int]:
+        return self._series.times()
+
+    @property
+    def rates_gbps(self) -> List[List[float]]:
+        return [self._series.column(i + 1) for i in range(len(self.flows))]
 
     def _sample(self) -> None:
+        self._next = None
         now = self.sim.now
-        if self.stop_ps is not None and now > self.stop_ps:
+        if self._stopped or (self.stop_ps is not None and now > self.stop_ps):
             return
-        self.times.append(now)
+        rates = []
         for i, flow in enumerate(self.flows):
             cur = self.probe(flow)
             delta = cur - self._last[i]
             self._last[i] = cur
             # bytes over interval_ps picoseconds -> Gbps
-            gbps = delta * 8 / (self.interval_ps / 1000.0)
-            self.rates_gbps[i].append(gbps)
-        self.sim.after(self.interval_ps, self._sample)
+            rates.append(delta * 8 / (self.interval_ps / 1000.0))
+        self._series.append(now, *rates)
+        self._next = self.sim.after(self.interval_ps, self._sample)
+
+    def stop(self) -> None:
+        """Cancel the pending sample; the collected samples stay readable."""
+        self._stopped = True
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
 
     def series(self, i: int) -> Tuple[List[int], List[float]]:
-        return self.times, self.rates_gbps[i]
+        return self.times, self._series.column(i + 1)

@@ -102,6 +102,7 @@ class SenderStats:
     parity_pkts_sent: int = 0
     retransmissions: int = 0
     timeouts: int = 0
+    dup_acks: int = 0
     nacks_received: int = 0
     is_inter_dc: bool = False
 
@@ -223,6 +224,22 @@ class Sender:
         )
         self._done = False
 
+        # Telemetry: per-flow numbers live in ``stats``; the registry
+        # carries fleet-wide aggregates so a snapshot answers "how many
+        # retransmissions happened anywhere" without walking flows.
+        obs = sim.obs
+        self._obs = obs
+        self._events = obs.events if obs is not None else None
+        self._counters = (
+            None if obs is None else {
+                name: obs.metrics.counter(f"transport.{name}")
+                for name in (
+                    "flows_started", "flows_completed", "retransmissions",
+                    "timeouts", "dup_acks", "nacks_received",
+                )
+            }
+        )
+
         if start_immediately:
             self.start()
 
@@ -232,6 +249,12 @@ class Sender:
 
     def start(self) -> None:
         self.stats.start_ps = self.sim.now
+        if self._counters is not None:
+            self._counters["flows_started"].inc()
+        ev = self._events
+        if ev is not None and ev.wants("flow"):
+            ev.emit("flow", "start", t=self.sim.now, flow=self.flow_id,
+                    size=self.size_bytes, inter_dc=self.is_inter_dc)
         self.cc.on_init(self)
         self.path.on_init(self)
         self._arm_rto()
@@ -354,6 +377,8 @@ class Sender:
         if is_retx:
             pkt.retx = self.outstanding[seq].retx + 1
             self.stats.retransmissions += 1
+            if self._counters is not None:
+                self._counters["retransmissions"].inc()
         pkt.sent_ps = now
         self._decorate(pkt)
         pkt.sport = self.path.entropy(self, pkt)
@@ -389,6 +414,10 @@ class Sender:
         if pkt.kind == ACK:
             self._on_ack(pkt)
         elif pkt.kind == NACK:
+            ev = self._events
+            if ev is not None and ev.wants("nack"):
+                ev.emit("nack", "received", t=self.sim.now,
+                        flow=self.flow_id, block=pkt.block_id)
             self._on_nack(pkt)
         elif pkt.kind == CNP:
             self.cc.on_cnp(self, pkt)
@@ -403,6 +432,13 @@ class Sender:
                 self._maybe_send()
             return
         if seq in self.acked_seqs or seq not in self.outstanding:
+            self.stats.dup_acks += 1
+            if self._counters is not None:
+                self._counters["dup_acks"].inc()
+            ev = self._events
+            if ev is not None and ev.wants("ack"):
+                ev.emit("ack", "dup", t=self.sim.now,
+                        flow=self.flow_id, seq=seq)
             return  # duplicate or stale
         sent = self.outstanding.pop(seq)
         self.acked_seqs.add(seq)
@@ -420,8 +456,16 @@ class Sender:
                 self.min_rtt_ps = rtt
             self.rttvar_ps += 0.25 * (abs(rtt - self.srtt_ps) - self.rttvar_ps)
             self.srtt_ps += 0.125 * (rtt - self.srtt_ps)
+        ev = self._events
+        if ev is not None and ev.wants("ack"):
+            ev.emit("ack", "ack", t=self.sim.now, flow=self.flow_id,
+                    seq=seq, rtt=rtt, ecn=pkt.ecn_echo)
+        cwnd_before = self.cwnd
         self.cc.on_ack(self, pkt, rtt, pkt.ecn_echo)
         self.cwnd = max(self.cwnd, float(self.mss))
+        if ev is not None and self.cwnd != cwnd_before and ev.wants("cwnd"):
+            ev.emit("cwnd", "update", t=self.sim.now, flow=self.flow_id,
+                    old=cwnd_before, new=self.cwnd, cause="ack")
         self.path.on_ack(self, pkt, rtt, pkt.ecn_echo)
         self._after_ack(pkt)
         if self._check_done():
@@ -464,13 +508,20 @@ class Sender:
 
     def _handle_timeout(self) -> None:
         self.stats.timeouts += 1
+        if self._counters is not None:
+            self._counters["timeouts"].inc()
         # Re-queue every expired unacked packet exactly once.
         cutoff = self.sim.now - self.rto_ps
         for seq, pkt in list(self.outstanding.items()):
             if pkt.sent_ps <= cutoff:
                 self.queue_retransmit(seq)
+        cwnd_before = self.cwnd
         self.cc.on_timeout(self)
         self.cwnd = max(self.cwnd, float(self.mss))
+        ev = self._events
+        if ev is not None and self.cwnd != cwnd_before and ev.wants("cwnd"):
+            ev.emit("cwnd", "update", t=self.sim.now, flow=self.flow_id,
+                    old=cwnd_before, new=self.cwnd, cause="timeout")
         self.path.on_nack_or_timeout(self)
         self._maybe_send()
 
@@ -501,6 +552,13 @@ class Sender:
             return False
         self._done = True
         self.stats.finish_ps = self.sim.now
+        if self._counters is not None:
+            self._counters["flows_completed"].inc()
+        ev = self._events
+        if ev is not None and ev.wants("flow"):
+            ev.emit("flow", "done", t=self.sim.now, flow=self.flow_id,
+                    fct=self.stats.fct_ps,
+                    retx=self.stats.retransmissions)
         if self._rto_handle is not None:
             self._rto_handle.cancel()
             self._rto_handle = None

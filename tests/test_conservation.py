@@ -92,6 +92,71 @@ class TestConservation:
         assert delivered + lost + failed == total_tx_pkts(topo.net)
         assert lost > 0  # the loss model actually engaged
 
+    def test_registry_conservation_on_dumbbell(self):
+        """Registry-only accounting: injected == delivered + dropped +
+        lost + in-flight, computed purely from the metrics snapshot."""
+        from repro.obs import enable
+        from repro.topology.simple import dumbbell
+
+        sim = Simulator()
+        obs = enable(sim)
+        topo = dumbbell(sim, 2, prop_ps=1 * US, queue_bytes=64 * 1024)
+        topo.bottleneck.link.loss_model = BernoulliLoss(0.02, seed=5)
+        done = []
+        for i, (s, r) in enumerate(zip(topo.senders, topo.receivers)):
+            start_flow(sim, topo.net, DCTCP(), s, r, 256 * 1024,
+                       base_rtt_ps=14 * US, seed=i, on_complete=done.append)
+        sim.run(until=10**12)
+        assert len(done) == 2
+
+        snap = obs.metrics.snapshot()
+        ports = snap["port"].values()
+        links = snap["link"].values()
+        transmitted = sum(p["enqueued_pkts"] - p["drops"] - p["queued_pkts"]
+                          for p in ports)
+        accounted = sum(l["delivered_pkts"] + l["lost_pkts"]
+                        + l["failed_drops"] for l in links)
+        assert transmitted == accounted
+        assert sum(l["lost_pkts"] for l in links) > 0
+        # And the registry view agrees with the objects it mirrors.
+        delivered, lost, failed = link_accounting(topo.net)
+        assert accounted == delivered + lost + failed
+
+    def test_registry_conservation_on_multidc_with_failure(self):
+        from repro.core import UnoParams, start_uno_flow
+        from repro.obs import enable
+        from repro.sim.failures import schedule_bidirectional_failure
+
+        sim = Simulator()
+        obs = enable(sim)
+        params = UnoParams(link_gbps=25.0, queue_bytes=256 * 1024)
+        topo = MultiDC(sim, MultiDCConfig(
+            k=4, gbps=25.0, n_border_links=4,
+            intra_rtt_ps=params.intra_rtt_ps,
+            inter_rtt_ps=params.inter_rtt_ps,
+            queue_bytes=256 * 1024, red=params.red(),
+            phantom=params.phantom(), seed=3,
+        ))
+        schedule_bidirectional_failure(sim, *topo.border_links[1],
+                                       fail_at_ps=1_000_000_000,
+                                       repair_after_ps=5_000_000_000)
+        done = []
+        for i in range(2):
+            start_uno_flow(sim, topo.net, topo.host(0, i), topo.host(1, i),
+                           MIB, params, seed=11 + i, on_complete=done.append)
+        sim.run(until=4_000_000_000_000)
+        assert len(done) == 2
+
+        snap = obs.metrics.snapshot()
+        transmitted = sum(p["enqueued_pkts"] - p["drops"] - p["queued_pkts"]
+                          for p in snap["port"].values())
+        accounted = sum(l["delivered_pkts"] + l["lost_pkts"]
+                        + l["failed_drops"] for l in snap["link"].values())
+        assert transmitted == accounted
+        assert snap["failures"]["link_down"] == 2
+        assert snap["failures"]["link_up"] == 2
+        assert snap["transport"]["flows_completed"] == 2
+
     def test_host_rx_matches_link_delivery_to_hosts(self):
         sim = Simulator()
         topo = incast_star(sim, 2, prop_ps=1 * US)

@@ -183,6 +183,53 @@ class TestRunnerFailureModes:
         assert record.status == "timeout"
         assert record.elapsed_s < 10
 
+    def test_failure_traceback_round_trips_through_cache(self):
+        """A failing point leaves a ``.error.json`` record carrying the
+        full traceback, readable after the sweep (and after the process
+        that ran it is gone)."""
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(Path(tmp))
+            bad = self._failing_point()
+            record = run_points([bad], cache=cache)[0]
+            assert "Traceback (most recent call last)" in \
+                record.error["traceback"]
+            assert "ValueError" in record.error["traceback"]
+
+            # Round trip: a fresh cache handle on the same root reads the
+            # record back, byte-for-byte equal error info.
+            reread = ResultCache(Path(tmp)).load_failure(bad)
+            assert reread is not None
+            assert reread["status"] == "error"
+            assert reread["error"] == record.error
+            assert reread["error"]["traceback"] == \
+                record.error["traceback"]
+            # Failures are never served as results ...
+            assert cache.load(bad) is None
+            assert cache.failure_path_for(bad) != cache.path_for(bad)
+
+    def test_worker_failures_also_cached_with_traceback(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = self._failing_point()
+        run_points([bad], jobs=2, cache=cache)
+        reread = cache.load_failure(bad)
+        assert reread is not None
+        assert "asked to fail" in reread["error"]["message"]
+        assert "Traceback (most recent call last)" in \
+            reread["error"]["traceback"]
+
+    def test_success_supersedes_failure_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        p = selftest.points()[0]
+        cache.store_failure(p, "error", {"type": "X", "message": "m",
+                                         "traceback": "tb"})
+        assert cache.load_failure(p) is not None
+        run_points([p], cache=cache)
+        assert cache.load(p) is not None
+        assert cache.load_failure(p) is None  # stale record removed
+
     def test_duplicate_conflicting_ids_rejected(self):
         a = ExperimentPoint("e", "n", {"x": 1})
         b = ExperimentPoint("e", "n", {"x": 2})
@@ -196,3 +243,54 @@ class TestRunnerFailureModes:
             run_points([], jobs=0)
         with pytest.raises(ValueError):
             run_points([], resume=True)
+
+
+class TestRunnerTelemetry:
+    def test_records_carry_merged_telemetry(self):
+        pts = selftest.points()[:2]
+        records = run_points(pts, telemetry=True)
+        for r in records:
+            assert r.ok
+            assert r.telemetry is not None
+            assert set(r.telemetry) >= {"n_sims", "metrics"}
+        # Off by default: no snapshot attached.
+        assert all(r.telemetry is None for r in run_points(pts))
+
+    def test_telemetry_identical_results_and_present_in_workers(self, tmp_path):
+        pts = selftest.points()
+        plain = run_points(pts)
+        inline = run_points(pts, telemetry=True)
+        pooled = run_points(pts, jobs=2, telemetry=True)
+        assert [r.result for r in plain] == [r.result for r in inline]
+        assert [r.result for r in plain] == [r.result for r in pooled]
+        assert all(r.telemetry is not None for r in pooled)
+
+    def test_cache_hits_have_no_telemetry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pts = selftest.points()[:1]
+        first = run_points(pts, cache=cache, telemetry=True)
+        resumed = run_points(pts, cache=cache, resume=True, telemetry=True)
+        assert first[0].telemetry is not None
+        assert resumed[0].cached and resumed[0].telemetry is None
+
+    def test_run_all_telemetry_flag_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.run_all import main
+
+        main(["--only", "fig1", "--out", str(tmp_path), "--telemetry"])
+        capsys.readouterr()
+        tdir = tmp_path / "telemetry" / "fig1"
+        summary = json.loads((tdir / "summary.json").read_text())
+        assert summary["experiment"] == "fig1"
+        assert summary["points_with_telemetry"] == summary["points_total"] > 0
+        for name, entry in summary["points"].items():
+            assert entry["status"] == "ok"
+            point_doc = json.loads((tdir / entry["file"]).read_text())
+            assert point_doc["status"] == "ok"
+            assert point_doc["point"]["name"] == name
+            assert point_doc["n_sims"] >= 1
+            assert "metrics" in point_doc and "profile" in point_doc
+        # Aggregated profile: every simulator's executed events, summed.
+        assert summary["profile"]["events"] > 0
+        assert summary["metrics"]["transport"]["flows_completed"] > 0

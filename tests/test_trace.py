@@ -58,3 +58,56 @@ class TestRateMonitor:
         sim = Simulator()
         with pytest.raises(ValueError):
             RateMonitor(sim, [], probe=lambda s: 0, interval_ps=0)
+
+
+class TestStop:
+    def test_queue_monitor_stop_cancels_pending_event(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        mon = QueueMonitor(sim, topo.bottleneck, interval_ps=10 * US)
+        sim.run(until=35 * US)
+        n = len(mon.samples)
+        assert n == 4  # t = 0, 10, 20, 30 us
+        mon.stop()
+        # Without stop() the self-rescheduling sample would keep the
+        # otherwise-idle event loop alive forever.
+        sim.run()
+        assert len(mon.samples) == n
+        assert sim.now == 35 * US  # nothing left to execute
+        mon.stop()  # idempotent
+
+    def test_rate_monitor_stop_cancels_pending_event(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        sender = start_flow(sim, topo.net, DCTCP(), topo.senders[0],
+                            topo.receivers[0], 256 * 1024,
+                            base_rtt_ps=14 * US)
+        mon = RateMonitor(sim, [sender], probe=lambda s: s.stats.bytes_acked,
+                          interval_ps=50 * US)
+        sim.run(until=200 * US)
+        n = len(mon.times)
+        mon.stop()
+        sim.run(until=10**12)
+        assert sender.done
+        assert len(mon.times) == n
+
+    def test_registry_backed_series_when_telemetry_on(self):
+        from repro.obs import enable
+
+        sim = Simulator()
+        obs = enable(sim, profile=False)
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        QueueMonitor(sim, topo.bottleneck, interval_ps=10 * US,
+                     stop_ps=50 * US)
+        sender = start_flow(sim, topo.net, DCTCP(), topo.senders[0],
+                            topo.receivers[0], 64 * 1024, base_rtt_ps=14 * US)
+        RateMonitor(sim, [sender], probe=lambda s: s.stats.bytes_acked,
+                    interval_ps=50 * US, stop_ps=500 * US)
+        sim.run(until=10**12)
+        snap = obs.metrics.snapshot()
+        # queue series lives under trace.queue.<port>.0 in the snapshot
+        trace = snap["trace"]
+        assert "queue" in trace and "rate" in trace
+        (qsummary,) = [v["0"] for k, v in trace["queue"].items()]
+        assert qsummary["n"] == 6  # t = 0, 10, ..., 50 us
+        assert trace["rate"]["0"]["n"] >= 1

@@ -103,10 +103,12 @@ class ResultCache:
     # -- failure records -------------------------------------------------
 
     def store_failure(self, point: ExperimentPoint, status: str,
-                      error: Dict[str, Any]) -> Path:
+                      error: Dict[str, Any],
+                      attempts: Optional[list] = None) -> Path:
         """Persist a structured failure (``status`` "error"/"timeout",
         ``error`` with type/message/traceback) beside where the result
-        would live. Never served by :meth:`load`."""
+        would live. ``attempts`` carries every retry attempt's error info
+        when the runner retried the point. Never served by :meth:`load`."""
         record = dict(
             point.describe(),
             key=point_key(point, self.version),
@@ -114,6 +116,8 @@ class ResultCache:
             status=status,
             version=self.version,
         )
+        if attempts:
+            record["attempts"] = attempts
         return self._write(self.failure_path_for(point), record)
 
     def load_failure(self, point: ExperimentPoint) -> Optional[Dict[str, Any]]:

@@ -1,0 +1,312 @@
+"""Chaos campaigns: scenario x transport grids with invariant checking.
+
+A *campaign* is a named grid of (topology, scenario, transport) cells;
+every cell becomes one :class:`ExperimentPoint` (experiment ``"chaos"``),
+so campaigns run through the same parallel/cached/resumable runner and
+on-disk cache as the paper experiments::
+
+    python -m repro.experiments.run_all --chaos smoke --out results/chaos
+
+Each point builds a fresh topology, compiles its scenario onto the
+network (:mod:`repro.sim.chaos`), runs a fixed flow set to the horizon,
+and then sweeps the run invariants — packet conservation, no stuck
+flows, event loop drained, completion accounting under UnoRC recovery.
+A healthy campaign reports **zero** violations; any violation is a
+simulator or transport bug, not a tuning issue.
+
+The ``convergence`` config knob selects the control plane: ``"default"``
+(the Network's ~10 ms failure-aware rerouting), a number (picoseconds;
+``0`` = static tables), or ``"inf"`` (never reroute — the blackhole
+control that reproduces the pre-rerouting behavior). Canonical JSON
+cannot carry IEEE infinities, hence the string spelling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.api import ExperimentPoint
+from repro.experiments.harness import build_multidc, make_launcher, scale_for
+from repro.sim.chaos import (
+    FiberCut,
+    GreyFailure,
+    LinkFlap,
+    LossEpisode,
+    PartitionWindow,
+    Scenario,
+    check_invariants,
+)
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, US
+from repro.topology.simple import dumbbell
+from repro.transport.base import Sender, start_flow
+from repro.transport.dctcp import DCTCP
+
+EXPERIMENT = "chaos"
+
+HORIZON_PS = 500 * MS  # per-point deadline: every flow must finish by here
+
+TOPOS = ("dumbbell", "two_dc")
+DUMBBELL_TRANSPORTS = ("dctcp",)
+TWO_DC_TRANSPORTS = ("uno", "gemini")
+
+# campaign name -> list of (topo, scenario, transport) cells
+CAMPAIGNS: Dict[str, List[tuple]] = {
+    # CI smoke: flap + grey + correlated-loss on both topologies, plus
+    # the unrepaired two-DC fiber cut that only rerouting survives.
+    "smoke": (
+        [("dumbbell", s, t)
+         for s in ("flap", "grey", "loss_episode")
+         for t in DUMBBELL_TRANSPORTS]
+        + [("two_dc", s, t)
+           for s in ("flap", "grey", "loss_episode", "fiber_cut")
+           for t in TWO_DC_TRANSPORTS]
+    ),
+    # The acceptance scenario on its own: a permanent two-border-link
+    # cut; all flows must still complete via rerouting.
+    "fibercut": [("two_dc", "fiber_cut", t) for t in TWO_DC_TRANSPORTS],
+    # Full partition window: every border link down at once, repaired.
+    "partition": [("two_dc", "partition", t) for t in TWO_DC_TRANSPORTS],
+}
+
+
+def scenario_for(topo: str, name: str) -> Scenario:
+    """The preset scenario ``name`` timed for topology ``topo``.
+
+    Dumbbell flows are short (tens of us RTT), so scenarios strike early;
+    two-DC inter flows ride a 2 ms RTT, so scenarios strike at ~1-2 ms
+    when flows are mid-flight. Outages (30 ms) deliberately exceed the
+    default 10 ms convergence delay so rerouting actually engages.
+    """
+    if topo == "dumbbell":
+        sel = dict(selector="inter_switch", k=1)
+        presets = {
+            "flap": LinkFlap(start_ps=500 * US, down_ps=30 * MS,
+                             period_ps=80 * MS, flaps=2, **sel),
+            "grey": GreyFailure(start_ps=200 * US, duration_ps=30 * MS,
+                                loss_rate=0.02, **sel),
+            "loss_episode": LossEpisode(start_ps=200 * US,
+                                        duration_ps=30 * MS,
+                                        loss_rate=0.01, **sel),
+        }
+    elif topo == "two_dc":
+        presets = {
+            "flap": LinkFlap(selector="border", k=2, start_ps=2 * MS,
+                             down_ps=30 * MS, period_ps=80 * MS, flaps=2),
+            "grey": GreyFailure(selector="border", k=2, start_ps=1 * MS,
+                                duration_ps=50 * MS, loss_rate=0.02),
+            "loss_episode": LossEpisode(selector="border", k=2,
+                                        start_ps=1 * MS,
+                                        duration_ps=50 * MS,
+                                        loss_rate=0.01),
+            "fiber_cut": FiberCut(selector="border", k=2, at_ps=2 * MS,
+                                  repair_after_ps=None),
+            "partition": PartitionWindow(selector="border", k=0,
+                                         start_ps=2 * MS,
+                                         duration_ps=30 * MS),
+        }
+    else:
+        raise ValueError(f"unknown chaos topology {topo!r}")
+    if name not in presets:
+        raise ValueError(
+            f"scenario {name!r} has no preset on {topo!r} "
+            f"(available: {sorted(presets)})"
+        )
+    return presets[name]
+
+
+def parse_convergence(value: Any) -> Optional[float]:
+    """Config knob -> convergence delay: ``"default"``/None keeps the
+    Network default, ``"inf"`` never converges, numbers are ps."""
+    if value is None or value == "default":
+        return None
+    if value == "inf":
+        return float("inf")
+    return float(value)
+
+
+def campaign_points(
+    campaign: str = "smoke",
+    quick: bool = True,
+    seed: Optional[int] = None,
+    convergence: Any = "default",
+) -> List[ExperimentPoint]:
+    """One point per campaign cell."""
+    if campaign not in CAMPAIGNS:
+        raise ValueError(f"unknown campaign {campaign!r}; "
+                         f"choose from {sorted(CAMPAIGNS)}")
+    base_seed = 7 if seed is None else seed
+    return [
+        ExperimentPoint(
+            experiment=EXPERIMENT,
+            name=f"{campaign}/{topo}-{scenario}-{transport}",
+            config={
+                "quick": quick,
+                "campaign": campaign,
+                "topo": topo,
+                "scenario": scenario,
+                "transport": transport,
+                "convergence": convergence,
+            },
+            seed=base_seed,
+        )
+        for topo, scenario, transport in CAMPAIGNS[campaign]
+    ]
+
+
+def points(quick: bool = True,
+           seed: Optional[int] = None) -> List[ExperimentPoint]:
+    """Point-API entry: the default (smoke) campaign."""
+    return campaign_points("smoke", quick, seed)
+
+
+# ----------------------------------------------------------------------
+# Point execution
+# ----------------------------------------------------------------------
+
+def _dumbbell_flows(sim, cfg, seed) -> tuple:
+    size = 256 * 1024 if cfg["quick"] else 1024 * 1024
+    topo = dumbbell(
+        sim, n_pairs=4, gbps=25.0, prop_ps=5 * US, queue_bytes=256 * 1024,
+        seed=seed, convergence_delay_ps=parse_convergence(cfg["convergence"]),
+    )
+    senders: List[Sender] = []
+    for i, (src, dst) in enumerate(zip(topo.senders, topo.receivers)):
+        senders.append(start_flow(
+            sim, topo.net, DCTCP(), src, dst, size,
+            start_ps=i * 20 * US,
+            base_rtt_ps=4 * 5 * US,
+            line_gbps=25.0,
+            seed=seed + i,
+        ))
+    return topo.net, senders
+
+
+def _two_dc_flows(sim, cfg, seed) -> tuple:
+    scale = scale_for(cfg["quick"])
+    params = scale.params()
+    topo = build_multidc(
+        sim, cfg["transport"], params, scale, seed=seed,
+        convergence_delay_ps=parse_convergence(cfg["convergence"]),
+    )
+    launcher = make_launcher(cfg["transport"], sim, topo, params, seed=seed)
+    rng = random.Random(seed)
+    size_inter = 128 * 1024 if cfg["quick"] else 512 * 1024
+    size_intra = 64 * 1024 if cfg["quick"] else 256 * 1024
+    from repro.workloads.generator import FlowSpec
+
+    specs = []
+    for i in range(6):
+        src, dst = topo.random_host_pair(rng, inter_dc=True)
+        specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
+                              size_bytes=size_inter, is_inter_dc=True))
+    for i in range(2):
+        src, dst = topo.random_host_pair(rng, inter_dc=False)
+        specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
+                              size_bytes=size_intra, is_inter_dc=False))
+    senders = [launcher(spec, idx, lambda _s: None)
+               for idx, spec in enumerate(specs)]
+    return topo.net, senders
+
+
+def run_point(point: ExperimentPoint) -> Dict[str, Any]:
+    """Build the point's topology and flows, compile its scenario onto
+    the network, run to the horizon, and sweep the run invariants."""
+    cfg = point.cfg
+    sim = Simulator()
+    if sim.obs is None:
+        # Stand-alone runs still get the failure/route/invariant record;
+        # under --telemetry the TelemetryContext already attached.
+        from repro.obs import enable
+        enable(sim, event_topics=("failure", "route", "invariant"),
+               profile=False)
+
+    if cfg["topo"] == "dumbbell":
+        net, senders = _dumbbell_flows(sim, cfg, point.seed)
+    elif cfg["topo"] == "two_dc":
+        net, senders = _two_dc_flows(sim, cfg, point.seed)
+    else:
+        raise ValueError(f"unknown chaos topology {cfg['topo']!r}")
+
+    scenario = scenario_for(cfg["topo"], cfg["scenario"])
+    rng = random.Random(point.seed ^ 0xC4A05)
+    targets = scenario.apply(sim, net, rng)
+
+    sim.run(until=HORIZON_PS)
+    violations = check_invariants(sim, net, senders, HORIZON_PS)
+
+    fcts = [s.stats.fct_ps for s in senders if s.stats.fct_ps is not None]
+    return {
+        "scenario": scenario.describe(),
+        "cables_hit": [ab.name for ab, _ba in targets],
+        "n_flows": len(senders),
+        "completed": sum(1 for s in senders if s.done),
+        "violations": violations,
+        "n_violations": len(violations),
+        "max_fct_ms": max(fcts) / MS if fcts else None,
+        "timeouts": sum(s.stats.timeouts for s in senders),
+        "retransmissions": sum(s.stats.retransmissions for s in senders),
+        "route_patches": net.route_patches,
+        "route_rebuilds": net.route_rebuilds,
+        "no_route_drops": sum(sw.no_route_drops for sw in net.switches),
+        "failed_drops": sum(ln.failed_drops for ln in net.links),
+        "lost_pkts": sum(ln.lost_pkts for ln in net.links),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reduction / reporting
+# ----------------------------------------------------------------------
+
+def summarize(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Reduce per-point results to the campaign verdict: total
+    violations and whether every flow in every point completed."""
+    cells = {}
+    total_violations = 0
+    all_completed = True
+    for name in sorted(results):
+        res = results[name]
+        total_violations += res["n_violations"]
+        completed_all = res["completed"] == res["n_flows"]
+        all_completed = all_completed and completed_all
+        cells[name] = {
+            "completed": res["completed"],
+            "n_flows": res["n_flows"],
+            "n_violations": res["n_violations"],
+            "violations": res["violations"],
+            "route_patches": res["route_patches"],
+            "route_rebuilds": res["route_rebuilds"],
+            "max_fct_ms": res["max_fct_ms"],
+        }
+    return {
+        "points": cells,
+        "n_points": len(cells),
+        "total_violations": total_violations,
+        "all_flows_completed": all_completed,
+    }
+
+
+def report(res: Dict[str, Any]) -> None:
+    """Print the per-point campaign table and the overall verdict."""
+    print("Chaos campaign")
+    print(f"  {'point':<44} {'flows':>7} {'viol':>5} "
+          f"{'patch':>5} {'rebuild':>7} {'maxFCT(ms)':>11}")
+    for name, cell in res["points"].items():
+        fct = cell["max_fct_ms"]
+        fct_s = f"{fct:.2f}" if fct is not None else "-"
+        flows = f"{cell['completed']}/{cell['n_flows']}"
+        print(f"  {name:<44} {flows:>7} {cell['n_violations']:>5} "
+              f"{cell['route_patches']:>5} {cell['route_rebuilds']:>7} "
+              f"{fct_s:>11}")
+    verdict = ("all invariants held"
+               if res["total_violations"] == 0 and res["all_flows_completed"]
+               else f"{res['total_violations']} INVARIANT VIOLATIONS")
+    print(f"  => {res['n_points']} points, {verdict}")
+
+
+def run(quick: bool = True, **runner_kwargs) -> Dict[str, Any]:
+    """Run the default (smoke) campaign serially and summarize it."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(EXPERIMENT, quick, **runner_kwargs)

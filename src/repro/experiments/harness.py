@@ -99,6 +99,7 @@ def build_multidc(
     border_queue_bytes: Optional[int] = None,
     switch_mode: str = "ecmp",
     seed: int = 1,
+    convergence_delay_ps: Optional[float] = None,
 ) -> MultiDC:
     """The two-DC topology with scheme-appropriate marking config."""
     if scheme not in SCHEMES:
@@ -119,6 +120,7 @@ def build_multidc(
             phantom=phantom,
             switch_mode=switch_mode,
             seed=seed,
+            convergence_delay_ps=convergence_delay_ps,
         ),
     )
 

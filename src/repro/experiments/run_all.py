@@ -3,7 +3,7 @@
 Usage:
     python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
         [--jobs N] [--resume] [--seed S] [--out DIR] [--timeout SECS]
-        [--telemetry]
+        [--telemetry] [--retries N] [--chaos CAMPAIGN] [--convergence V]
 
 All selected experiments are decomposed into independent points first,
 then the whole point set is executed by one runner pass — so ``--jobs``
@@ -17,6 +17,19 @@ simulators the point built, written to
 ``<out>/telemetry/<experiment>/<point-file>.json`` plus one aggregated
 ``<out>/telemetry/<experiment>/summary.json`` per experiment. Points
 served from the cache did not run and therefore carry no telemetry.
+
+``--retries N`` re-runs points that errored or timed out up to N extra
+times (jittered exponential backoff between passes); the failure record
+keeps every attempt's traceback.
+
+``--chaos CAMPAIGN`` runs a chaos campaign (see
+:mod:`repro.experiments.chaos`) instead of the paper experiments: the
+campaign's scenario x transport grid becomes the point set, the summary
+lands at ``<out>/summaries/chaos-<campaign>.json``, and the exit status
+is non-zero if any point fails, any flow is left incomplete, or any run
+invariant is violated. ``--convergence`` selects the control plane for
+every campaign point: ``default`` (failure-aware rerouting), a number
+(delay in ps; ``0`` = static tables), or ``inf`` (never reroute).
 
 Quick mode (default) takes minutes on one core; --paper takes hours.
 """
@@ -56,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry", action="store_true",
                         help="write per-point counter/event/profile "
                              "snapshots under <out>/telemetry/")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for points that error or "
+                             "time out (default 0)")
+    parser.add_argument("--chaos", type=str, default=None, metavar="CAMPAIGN",
+                        help="run this chaos campaign instead of the paper "
+                             "experiments (e.g. smoke, fibercut, partition)")
+    parser.add_argument("--convergence", type=str, default="default",
+                        help="chaos-only control-plane knob: 'default', a "
+                             "delay in ps (0 = static routes), or 'inf'")
     return parser
 
 
@@ -66,16 +88,25 @@ def main(argv: Optional[List[str]] = None) -> None:
 
     targets = ALL
     if args.only:
+        if args.chaos:
+            parser.error("--chaos replaces the experiment list; "
+                         "it cannot be combined with --only")
         targets = [t.strip() for t in args.only.split(",") if t.strip()]
         unknown = set(targets) - set(ALL)
         if unknown:
             parser.error(f"unknown experiments: {sorted(unknown)}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
 
     quick = not args.paper
     out = Path(args.out)
     cache = ResultCache(out / "points")
+
+    if args.chaos:
+        run_chaos_campaign(args, parser, quick, out, cache)
+        return
 
     modules = {name: experiment_module(name) for name in targets}
     points = [p for name in targets
@@ -83,6 +114,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     records = run_points(
         points, jobs=args.jobs, cache=cache, resume=args.resume,
         timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
+        retries=args.retries,
     )
 
     if args.telemetry:
@@ -109,6 +141,55 @@ def main(argv: Optional[List[str]] = None) -> None:
         print(f"[{name} done in {elapsed:.1f}s]")
 
     if failures(records):
+        raise SystemExit(1)
+
+
+def run_chaos_campaign(args, parser, quick: bool, out: Path,
+                       cache: ResultCache) -> None:
+    """Execute one chaos campaign through the shared point runner.
+
+    Writes ``<out>/summaries/chaos-<campaign>.json`` and exits non-zero
+    when any point fails, any flow misses the deadline, or any run
+    invariant is violated — so CI can gate on the campaign directly.
+    """
+    from repro.experiments import chaos
+
+    try:
+        points = chaos.campaign_points(
+            args.chaos, quick=quick, seed=args.seed,
+            convergence=args.convergence,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    records = run_points(
+        points, jobs=args.jobs, cache=cache, resume=args.resume,
+        timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
+        retries=args.retries,
+    )
+    if args.telemetry:
+        write_telemetry(out / "telemetry", records, cache)
+
+    failed = failures(records)
+    for r in failed:
+        info = r.error or {}
+        print(f"[chaos FAILED: {r.point.id} {r.status}: "
+              f"{info.get('type', '?')}: {info.get('message', '')}]",
+              file=sys.stderr)
+
+    ok = [r for r in records if r.ok]
+    res = chaos.summarize(results_by_name(ok, experiment=chaos.EXPERIMENT))
+    res["campaign"] = args.chaos
+    res["convergence"] = args.convergence
+    res["n_failed_points"] = len(failed)
+    chaos.report(res)
+    summaries_dir = out / "summaries"
+    summaries_dir.mkdir(parents=True, exist_ok=True)
+    (summaries_dir / f"chaos-{args.chaos}.json").write_text(
+        _summary_json(res) + "\n")
+    elapsed = sum(r.elapsed_s for r in records)
+    print(f"[chaos {args.chaos} done in {elapsed:.1f}s]")
+
+    if failed or res["total_violations"] or not res["all_flows_completed"]:
         raise SystemExit(1)
 
 

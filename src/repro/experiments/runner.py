@@ -28,6 +28,7 @@ way inline, in a worker, or read back from disk.
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 import traceback
 from dataclasses import dataclass
@@ -56,6 +57,10 @@ class PointRecord:
     elapsed_s: float = 0.0
     cached: bool = False
     telemetry: Optional[Dict[str, Any]] = None  # set when telemetry=True
+    # With retries: every failed attempt's error info (attempt-stamped),
+    # including the final one; set on eventual successes too, so flaky
+    # points remain diagnosable.
+    attempts: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +77,8 @@ def run_points(
     timeout_s: Optional[float] = None,
     progress: bool = False,
     telemetry: bool = False,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> List[PointRecord]:
     """Execute every point; returns one record per point, input order.
 
@@ -81,11 +88,17 @@ def run_points(
     already on disk; without ``resume`` everything re-runs and the cache
     is refreshed. ``telemetry`` attaches a counter/event/profile snapshot
     to each freshly-executed record (cache hits carry none — they did
-    not run).
+    not run). ``retries`` re-runs ``error``/``timeout`` points up to N
+    extra times with jittered exponential backoff (base
+    ``retry_backoff_s``) before the failure sticks; the failure record —
+    in memory and in the cache's ``.error.json`` — keeps every attempt's
+    traceback.
     """
     points = list(points)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     if resume and cache is None:
         raise ValueError("resume=True requires a cache")
     seen: Dict[str, ExperimentPoint] = {}
@@ -107,25 +120,59 @@ def run_points(
         else:
             todo.append(i)
 
-    if jobs == 1 and timeout_s is None:
-        _run_inline(points, todo, records, cache, printer, telemetry)
-    else:
-        _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
-                  telemetry)
+    jitter = random.Random(0x5EED)
+    attempts_log: Dict[int, List[Dict[str, Any]]] = {}
+    remaining = todo
+    attempt = 0
+    while True:
+        final = attempt >= retries
+        if jobs == 1 and timeout_s is None:
+            _run_inline(points, remaining, records, cache, printer,
+                        telemetry, final)
+        else:
+            _run_pool(points, remaining, records, cache, printer, jobs,
+                      timeout_s, telemetry, final)
+        failed = []
+        for i in remaining:
+            record = records[i]
+            if record.ok:
+                if i in attempts_log:  # flaky: succeeded on a retry
+                    record.attempts = attempts_log[i]
+                continue
+            failed.append(i)
+            log = attempts_log.setdefault(i, [])
+            log.append(dict(record.error or {}, attempt=attempt + 1,
+                            status=record.status))
+            record.attempts = log
+        if final or not failed:
+            break
+        attempt += 1
+        remaining = failed
+        delay = retry_backoff_s * (2 ** (attempt - 1))
+        time.sleep(delay * (0.5 + jitter.random()))
+
+    # Failures that survived every retry are committed once, with the
+    # whole attempt history (intermediate passes never touch the cache).
+    if cache is not None:
+        for i in failed:
+            record = records[i]
+            cache.store_failure(record.point, record.status,
+                                record.error or {}, attempts=record.attempts)
 
     if printer:
         printer.finish()
     return [records[i] for i in range(len(points))]
 
 
-def _run_inline(points, todo, records, cache, printer, telemetry) -> None:
+def _run_inline(points, todo, records, cache, printer, telemetry,
+                final=True) -> None:
     for i in todo:
         point = points[i]
         t0 = time.monotonic()
         record, telem = _execute_one(point, telemetry)
         record.elapsed_s = time.monotonic() - t0
         record.telemetry = telem
-        _commit(record, records, i, cache, printer)
+        _commit(record, records, i, cache, printer, final)
 
 
 def _execute_one(point, telemetry):
@@ -145,7 +192,7 @@ def _execute_one(point, telemetry):
 
 
 def _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
-              telemetry=False) -> None:
+              telemetry=False, final=True) -> None:
     ctx = multiprocessing.get_context()
     pending = list(todo)
     running: Dict[Any, tuple] = {}  # proc -> (index, conn, t0)
@@ -165,7 +212,7 @@ def _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
                 if record is None:
                     continue
                 del running[proc]
-                _commit(record, records, i, cache, printer)
+                _commit(record, records, i, cache, printer, final)
             if running:
                 time.sleep(_POLL_S)
     finally:
@@ -244,14 +291,15 @@ def _error_info(exc: BaseException) -> Dict[str, str]:
     }
 
 
-def _commit(record, records, i, cache, printer) -> None:
+def _commit(record, records, i, cache, printer, final=True) -> None:
+    """Record one attempt's outcome. Successes are cached immediately;
+    failures are only *final* on the last retry pass — `run_points`
+    commits those (with the full attempt history) after the loop, and
+    non-final failures stay off the printer so each point prints once."""
     records[i] = record
-    if cache is not None and not record.cached:
-        if record.ok:
-            cache.store(record.point, record.result)
-        elif record.error is not None:
-            cache.store_failure(record.point, record.status, record.error)
-    if printer:
+    if cache is not None and not record.cached and record.ok:
+        cache.store(record.point, record.result)
+    if printer and (final or record.ok):
         printer.update(record.point.id, record.status, record.elapsed_s,
                        cached=record.cached)
 

@@ -9,6 +9,9 @@ be tested without a real (expensive) simulation:
 - ``mode="ok"`` (default): seeded pseudo-random sample mean.
 - ``mode="fail"``: raises ValueError (exercise failure records).
 - ``mode="sleep"``: blocks for ``sleep_s`` (exercise timeouts).
+- ``mode="flaky"``: fails the first ``fail_times`` attempts, counted in
+  the file at ``marker`` (exercise the runner's retry pass, including
+  across worker processes).
 """
 
 from __future__ import annotations
@@ -47,6 +50,15 @@ def run_point(point: ExperimentPoint) -> Dict:
     if mode == "sleep":
         time.sleep(float(cfg.get("sleep_s", 60.0)))
         return {"slept": True}
+    if mode == "flaky":
+        from pathlib import Path
+
+        marker = Path(cfg["marker"])
+        attempt = (int(marker.read_text()) if marker.exists() else 0) + 1
+        marker.write_text(str(attempt))
+        if attempt <= int(cfg["fail_times"]):
+            raise ValueError(f"flaky attempt {attempt} asked to fail")
+        return {"attempts": attempt}
     rng = random.Random(point.seed)
     samples = [rng.random() for _ in range(int(cfg["n"]))]
     return {

@@ -38,8 +38,9 @@ TOPICS = (
     "cwnd",     # congestion-window changes at senders
     "epoch",    # epoch closings in epoch-based CCs (UnoCC)
     "failure",  # link fail / restore and scheduled failure injection
-    "route",    # load-balancer reroute / repath decisions
-    "flow",     # flow start / completion
+    "route",      # LB repath decisions, next-hop patches, no-route drops
+    "flow",       # flow start / completion
+    "invariant",  # chaos-campaign invariant violations
 )
 
 

@@ -1,0 +1,367 @@
+"""Declarative chaos scenarios and run invariants.
+
+A chaos *scenario* is a small frozen dataclass describing one failure
+process — link flaps, a fiber cut, a grey failure (silent loss on a link
+that stays administratively up), a timed Gilbert-Elliott loss episode,
+or a partition window. Scenarios are compiled onto any
+:class:`~repro.sim.network.Network` by a *selector* that picks the
+target cables (both directions of a bidirectional link):
+
+- ``"border"`` — cables between border switches (the paper's WAN links);
+- ``"core"`` — cables touching a core switch (core uplinks);
+- ``"inter_switch"`` — every switch-to-switch cable (on a dumbbell this
+  is exactly the bottleneck);
+- ``"random"`` — a seeded random sample of the switch-to-switch cables;
+- ``"all"`` — every cable, host uplinks included.
+
+``k`` bounds how many of the matching cables the scenario hits (0 = all
+of them). Selection is deterministic given the network and the seed, so
+a campaign point re-runs bit-identically.
+
+:func:`check_invariants` is the post-run checker every chaos campaign
+point calls: packet conservation at each directed link, no flow stuck
+past the deadline, the event loop drained, and per-flow completion
+accounting (``_all_delivered``, which UnoRC overrides with block
+coverage — so EC recovery is checked too). Violations are returned as
+dicts and mirrored into the obs registry/event log under the
+``invariant`` topic when telemetry is attached.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.sim.failures import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    calibrate_gilbert_elliott,
+    schedule_bidirectional_failure,
+)
+from repro.sim.link import Link
+from repro.sim.switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+# Both directions of one physical cable, as wired by Network.add_link.
+Cable = Tuple[Link, Link]
+
+SELECTORS = ("border", "core", "inter_switch", "random", "all")
+
+
+def cables(net: "Network") -> List[Cable]:
+    """The network's bidirectional cables: ``add_link`` appends each
+    direction pair consecutively, so consecutive pairs are cables."""
+    links = net.links
+    return [(links[i], links[i + 1]) for i in range(0, len(links), 2)]
+
+
+def cable_endpoints(cable: Cable):
+    """(a, b) node objects for a cable built as a->b / b->a."""
+    ab, ba = cable
+    return ba.dst, ab.dst
+
+
+def select_cables(
+    net: "Network",
+    selector: str,
+    k: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Cable]:
+    """The target cables for a scenario, deterministically ordered.
+
+    ``k=0`` keeps every match; ``k>0`` keeps the first k (or, for
+    ``"random"``, a seeded sample of k). Raises if nothing matches — a
+    scenario silently hitting zero links would make a campaign vacuous.
+    """
+    if selector not in SELECTORS:
+        raise ValueError(f"unknown selector {selector!r}; "
+                         f"choose from {SELECTORS}")
+    all_cables = cables(net)
+    if selector == "all":
+        matched = all_cables
+    elif selector == "border":
+        matched = [
+            c for c in all_cables
+            if all("border" in n.name for n in cable_endpoints(c))
+        ]
+    elif selector == "core":
+        matched = [
+            c for c in all_cables
+            if any("core" in n.name for n in cable_endpoints(c))
+        ]
+    else:  # "inter_switch" and the "random" pool
+        matched = [
+            c for c in all_cables
+            if all(isinstance(n, Switch) for n in cable_endpoints(c))
+        ]
+    if not matched:
+        raise ValueError(
+            f"selector {selector!r} matched no cables on this network"
+        )
+    if selector == "random":
+        rng = rng or random.Random(0)
+        n = min(k, len(matched)) if k > 0 else len(matched)
+        return rng.sample(matched, n)
+    if k > 0:
+        matched = matched[:k]
+    return matched
+
+
+# ----------------------------------------------------------------------
+# Scenario vocabulary
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """Base: where the scenario strikes. Subclasses add when and how."""
+
+    kind: ClassVar[str] = ""
+
+    selector: str = "border"
+    k: int = 1
+
+    def apply(self, sim: "Simulator", net: "Network",
+              rng: Optional[random.Random] = None) -> List[Cable]:
+        """Compile this scenario onto ``net``: pick the target cables and
+        schedule every effect on ``sim``. Returns the cables hit."""
+        rng = rng or random.Random(0)
+        targets = select_cables(net, self.selector, self.k, rng)
+        for cable in targets:
+            self._apply_cable(sim, cable, rng)
+        return targets
+
+    def _apply_cable(self, sim: "Simulator", cable: Cable,
+                     rng: random.Random) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready record of the scenario (kind + every field)."""
+        return dict(asdict(self), kind=type(self).kind)
+
+
+@dataclass(frozen=True)
+class LinkFlap(Scenario):
+    """Repeated short outages: down for ``down_ps`` every ``period_ps``,
+    ``flaps`` times, both directions at once."""
+
+    kind: ClassVar[str] = "link_flap"
+
+    start_ps: int = 0
+    down_ps: int = 1_000_000_000       # 1 ms outage
+    period_ps: int = 20_000_000_000    # 20 ms between flap starts
+    flaps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.flaps < 1:
+            raise ValueError("need at least one flap")
+        if not 0 < self.down_ps < self.period_ps:
+            raise ValueError("flap outage must be shorter than its period")
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        ab, ba = cable
+        for i in range(self.flaps):
+            schedule_bidirectional_failure(
+                sim, ab, ba,
+                self.start_ps + i * self.period_ps,
+                self.down_ps,
+            )
+
+
+@dataclass(frozen=True)
+class FiberCut(Scenario):
+    """Both directions down at ``at_ps``; repaired after
+    ``repair_after_ps`` (None = never — a permanent cut)."""
+
+    kind: ClassVar[str] = "fiber_cut"
+
+    at_ps: int = 0
+    repair_after_ps: Optional[int] = None
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        ab, ba = cable
+        schedule_bidirectional_failure(sim, ab, ba, self.at_ps,
+                                       self.repair_after_ps)
+
+
+@dataclass(frozen=True)
+class GreyFailure(Scenario):
+    """Silent loss: the link stays administratively *up* (so rerouting
+    never triggers) but drops packets at ``loss_rate`` in both directions
+    during the window. This is the failure class routing cannot see and
+    transports must survive alone."""
+
+    kind: ClassVar[str] = "grey_failure"
+
+    start_ps: int = 0
+    duration_ps: Optional[int] = None  # None = until the end of the run
+    loss_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_rate <= 1.0:
+            raise ValueError(f"loss rate {self.loss_rate} outside (0, 1]")
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        for link in cable:
+            model = BernoulliLoss(self.loss_rate, seed=rng.getrandbits(31))
+            sim.at(self.start_ps, _attach_loss, link, model)
+            if self.duration_ps is not None:
+                sim.at(self.start_ps + self.duration_ps,
+                       _detach_loss, link, model)
+
+
+@dataclass(frozen=True)
+class LossEpisode(Scenario):
+    """A timed correlated-loss window: Gilbert-Elliott calibrated to a
+    marginal loss rate and mean burst length (the paper's Table 1
+    process), attached for ``duration_ps`` in both directions."""
+
+    kind: ClassVar[str] = "loss_episode"
+
+    start_ps: int = 0
+    duration_ps: int = 10_000_000_000  # 10 ms
+    loss_rate: float = 0.01
+    mean_burst_packets: float = 2.5
+    loss_bad: float = 0.5
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        params = calibrate_gilbert_elliott(
+            self.loss_rate, self.mean_burst_packets, self.loss_bad
+        )
+        for link in cable:
+            model = GilbertElliottLoss(params, seed=rng.getrandbits(31))
+            sim.at(self.start_ps, _attach_loss, link, model)
+            sim.at(self.start_ps + self.duration_ps,
+                   _detach_loss, link, model)
+
+
+@dataclass(frozen=True)
+class PartitionWindow(Scenario):
+    """Every selected cable down simultaneously for ``duration_ps`` —
+    with a selector covering a full cut set, the network partitions."""
+
+    kind: ClassVar[str] = "partition_window"
+
+    k: int = 0  # default: the whole selector match (a real partition)
+    start_ps: int = 0
+    duration_ps: int = 5_000_000_000  # 5 ms
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        ab, ba = cable
+        schedule_bidirectional_failure(sim, ab, ba, self.start_ps,
+                                       self.duration_ps)
+
+
+SCENARIO_KINDS = {
+    cls.kind: cls
+    for cls in (LinkFlap, FiberCut, GreyFailure, LossEpisode,
+                PartitionWindow)
+}
+
+
+def scenario_from_dict(spec: Dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :meth:`Scenario.describe` output."""
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    cls = SCENARIO_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown scenario kind {kind!r}; "
+                         f"choose from {sorted(SCENARIO_KINDS)}")
+    return cls(**spec)
+
+
+def _attach_loss(link: Link, model) -> None:
+    link.loss_model = model
+
+
+def _detach_loss(link: Link, model) -> None:
+    # Only detach our own model: a later scenario (or the experiment
+    # itself) may have replaced it meanwhile.
+    if link.loss_model is model:
+        link.loss_model = None
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+def check_invariants(
+    sim: "Simulator",
+    net: "Network",
+    senders,
+    deadline_ps: int,
+) -> List[Dict[str, Any]]:
+    """Post-run invariant sweep; returns one dict per violation.
+
+    Call after ``sim.run(until=deadline_ps)``. Checks:
+
+    - **packet_conservation** — per directed link, packets the port fully
+      serialized equal packets the link delivered + lost to a loss model
+      + killed by failure;
+    - **flow_stuck** — a sender not done by the deadline;
+    - **completion_accounting** — a sender that claims completion without
+      full delivery (``_all_delivered``; UnoRC's block-coverage override
+      makes this check EC recovery) or with an inconsistent FCT;
+    - **event_loop_not_drained** — events still pending after the
+      deadline (leaked timers keep simulations alive forever).
+    """
+    violations: List[Dict[str, Any]] = []
+
+    for node in net.nodes:
+        for port in node.ports.values():
+            link = port.link
+            # enqueued_pkts counts only successful enqueues (tail drops
+            # never enter the FIFO), so everything enqueued either still
+            # sits in the FIFO or reached the link.
+            sent = port.enqueued_pkts - len(port._fifo)
+            accounted = (link.delivered_pkts + link.lost_pkts
+                         + link.failed_drops)
+            if sent != accounted:
+                violations.append({
+                    "invariant": "packet_conservation",
+                    "link": link.name,
+                    "sent": sent,
+                    "accounted": accounted,
+                })
+
+    for sender in senders:
+        if not sender.done:
+            violations.append({
+                "invariant": "flow_stuck",
+                "flow": sender.flow_id,
+                "deadline_ps": deadline_ps,
+                "acked": len(sender.acked_seqs),
+                "total_data_pkts": sender.total_data_pkts,
+            })
+            continue
+        stats = sender.stats
+        if not sender._all_delivered() or stats.finish_ps is None \
+                or stats.finish_ps < stats.start_ps:
+            violations.append({
+                "invariant": "completion_accounting",
+                "flow": sender.flow_id,
+                "all_delivered": sender._all_delivered(),
+                "start_ps": stats.start_ps,
+                "finish_ps": stats.finish_ps,
+            })
+
+    next_event = sim.peek_time()
+    if next_event is not None:
+        violations.append({
+            "invariant": "event_loop_not_drained",
+            "next_event_ps": next_event,
+        })
+
+    obs = sim.obs
+    if obs is not None and violations:
+        obs.metrics.counter("invariant.violations").inc(len(violations))
+        ev = obs.events
+        if ev is not None and ev.wants("invariant"):
+            for v in violations:
+                ev.emit("invariant", v["invariant"], t=sim.now,
+                        **{k: val for k, val in v.items()
+                           if k != "invariant"})
+    return violations

@@ -132,13 +132,35 @@ class BernoulliLoss:
         return lost
 
 
+def _fail_or_skip(sim: "Simulator", link: "Link") -> None:
+    """Fire a scheduled failure, unless the link is already down.
+
+    Overlapping schedules used to double-fail the link and over-count
+    ``link.failures``; now the late schedule is a logged no-op, and the
+    earlier schedule's repair still brings the link back.
+    """
+    if not link.up:
+        obs = sim.obs
+        if obs is not None:
+            obs.metrics.counter("failures.skipped").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "skipped", t=sim.now, link=link.name)
+        return
+    link.fail()
+
+
 def schedule_link_failure(
     sim: "Simulator",
     link: "Link",
     fail_at_ps: int,
     repair_after_ps: Optional[int] = None,
 ) -> None:
-    """Fail ``link`` at ``fail_at_ps``; optionally repair after a delay."""
+    """Fail ``link`` at ``fail_at_ps``; optionally repair after a delay.
+
+    If the link is already down when the failure fires (overlapping
+    schedules), the failure is skipped rather than double-counted.
+    """
     obs = sim.obs
     if obs is not None:
         obs.metrics.counter("failures.scheduled").inc()
@@ -146,7 +168,7 @@ def schedule_link_failure(
         if ev is not None and ev.wants("failure"):
             ev.emit("failure", "scheduled", t=sim.now, link=link.name,
                     fail_at=fail_at_ps, repair_after=repair_after_ps)
-    sim.at(fail_at_ps, link.fail)
+    sim.at(fail_at_ps, _fail_or_skip, sim, link)
     if repair_after_ps is not None:
         sim.at(fail_at_ps + repair_after_ps, link.restore)
 

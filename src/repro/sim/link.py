@@ -34,6 +34,7 @@ class Link:
         "lost_pkts",
         "failed_drops",
         "failures",
+        "on_state_change",
         "_obs",
         "_events",
     )
@@ -55,6 +56,10 @@ class Link:
         self.prop_ps = prop_ps
         self.dst = None  # node with .receive(pkt); wired by Network
         self.up = True
+        # Called with this link after every up/down transition; the
+        # owning Network uses it to patch next-hop tables (failure-aware
+        # routing). None outside a Network (unit tests, raw links).
+        self.on_state_change: Optional[Callable[["Link"], None]] = None
         self.loss_model: Optional[LossModel] = None
         self.delivered_pkts = 0
         self.lost_pkts = 0
@@ -98,6 +103,11 @@ class Link:
         self.dst.receive(pkt)
 
     def fail(self) -> None:
+        """Administratively fail the link. Idempotent: failing a link
+        that is already down neither counts a second failure nor
+        notifies the control plane again."""
+        if not self.up:
+            return
         self.up = False
         self.failures += 1
         obs = self._obs
@@ -107,8 +117,13 @@ class Link:
             if ev is not None and ev.wants("failure"):
                 ev.emit("failure", "link_down", t=self.sim.now,
                         link=self.name)
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def restore(self) -> None:
+        """Bring the link back up. Idempotent like :meth:`fail`."""
+        if self.up:
+            return
         self.up = True
         obs = self._obs
         if obs is not None:
@@ -116,6 +131,8 @@ class Link:
             ev = obs.events
             if ev is not None and ev.wants("failure"):
                 ev.emit("failure", "link_up", t=self.sim.now, link=self.name)
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "up" if self.up else "DOWN"

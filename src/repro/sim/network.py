@@ -1,4 +1,5 @@
-"""Network container: nodes, links, and route computation.
+"""Network container: nodes, links, route computation, and failure-aware
+route maintenance.
 
 The :class:`Network` owns the simulator's node/link inventory, wires
 bidirectional links as pairs of unidirectional (Link, Port) couples, and
@@ -10,10 +11,26 @@ multiple equal-cost ports and are load-balanced like any other multipath.
 
 Ports at each node are keyed by ``(neighbor_id, index)`` where ``index``
 counts parallel links to that neighbor.
+
+**Failure-aware routing.** Every link notifies the network when it is
+failed or restored. After a configurable control-plane convergence delay
+(``convergence_delay_ps``, default :data:`DEFAULT_CONVERGENCE_DELAY_PS`
+= 10 ms) the network patches its next-hop tables: ports feeding down
+links are removed from every switch's equal-cost set (incrementally —
+with a BFS recompute when a destination loses all next-hops at some
+switch), and restored ports are re-admitted with a full recompute. Two
+sentinel delays disable the mechanism: ``0`` keeps the pre-failure
+static tables (routes are built once and never touched, the historical
+behavior) and ``float("inf")`` models a control plane that never
+converges — both blackhole traffic hashed onto a dead link until it is
+repaired. A destination that a switch knows but cannot currently reach
+keeps an *empty* next-hop set; the switch drops such packets (counted as
+``no_route_drops``) instead of crashing the simulation mid-partition.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from typing import Dict, List, Optional, Tuple, Union
@@ -23,14 +40,31 @@ from repro.sim.host import Host
 from repro.sim.link import Link
 from repro.sim.queues import PhantomQueueConfig, Port, REDConfig
 from repro.sim.switch import Switch
+from repro.sim.units import MS
 
 Node = Union[Host, Switch]
 PortKey = Tuple[int, int]  # (neighbor node id, parallel index)
 
+# Control-plane convergence delay between a link state change and the
+# corresponding next-hop table patch. ~10 ms is the scale of BGP/IGP
+# fast-reroute convergence on a WAN; experiments that need the historical
+# static tables pass 0, and `inf` models a control plane that never
+# reacts (the blackhole control in failure studies).
+DEFAULT_CONVERGENCE_DELAY_PS = 10 * MS
+
 
 class Network:
     """Owns nodes and links; wires ports and computes next-hop tables."""
-    def __init__(self, sim: Simulator, seed: int = 1):
+    def __init__(
+        self,
+        sim: Simulator,
+        seed: int = 1,
+        convergence_delay_ps: float = DEFAULT_CONVERGENCE_DELAY_PS,
+    ):
+        if convergence_delay_ps < 0:
+            raise ValueError(
+                f"negative convergence delay: {convergence_delay_ps}"
+            )
         self.sim = sim
         self.nodes: List[Node] = []
         self.hosts: List[Host] = []
@@ -41,6 +75,12 @@ class Network:
         self._adj: Dict[int, List[Tuple[int, PortKey]]] = {}
         self._rng = random.Random(seed)
         self._routes_built = False
+        self.convergence_delay_ps = convergence_delay_ps
+        self.route_patches = 0    # incremental port removals applied
+        self.route_rebuilds = 0   # full BFS recomputes triggered by failures
+        # Links (by id) currently excluded from the next-hop tables;
+        # reconciles compare this against live link state.
+        self._down_patched: set = set()
 
     # -- construction ------------------------------------------------------
 
@@ -134,6 +174,8 @@ class Network:
         b.ports[key_ba] = port_ba
         self._adj[a.node_id].append((b.node_id, key_ab))
         self._adj[b.node_id].append((a.node_id, key_ba))
+        link_ab.on_state_change = self._on_link_state
+        link_ba.on_state_change = self._on_link_state
         self.links.extend((link_ab, link_ba))
         return link_ab, link_ba
 
@@ -167,7 +209,10 @@ class Network:
         For each destination host, BFS from the host over the (symmetric)
         adjacency gives hop distances; every switch then points at all
         ports toward neighbors one hop closer to the destination —
-        including all parallel links to such a neighbor.
+        including all parallel links to such a neighbor. Down links are
+        not usable hops, so a build with every link up is identical to a
+        failure-oblivious one, while a rebuild after a failure routes
+        around it (possibly via longer paths).
         """
         id_to_node = {n.node_id: n for n in self.nodes}
         for sw in self.switches:
@@ -178,10 +223,16 @@ class Network:
             while frontier:
                 u = frontier.popleft()
                 du = dist[u]
-                for v, _key in self._adj[u]:
+                for v, key in self._adj[u]:
                     if v not in dist:
+                        node_v = id_to_node[v]
                         # Hosts never forward transit traffic.
-                        if isinstance(id_to_node[v], Host):
+                        if isinstance(node_v, Host):
+                            continue
+                        # Forwarding toward the destination traverses the
+                        # v->u link (parallel cables share the index, so
+                        # a later adjacency entry retries this neighbor).
+                        if not node_v.ports[(u, key[1])].link.up:
                             continue
                         dist[v] = du + 1
                         frontier.append(v)
@@ -192,7 +243,7 @@ class Network:
                 ports = tuple(
                     sw.ports[key]
                     for v, key in self._adj[sw.node_id]
-                    if dist.get(v, -1) == d - 1
+                    if dist.get(v, -1) == d - 1 and sw.ports[key].link.up
                 )
                 if ports:
                     sw.nexthops[host.node_id] = ports
@@ -201,6 +252,86 @@ class Network:
     def ensure_routes(self) -> None:
         if not self._routes_built:
             self.build_routes()
+
+    # -- failure-aware route maintenance ------------------------------------
+
+    def _on_link_state(self, link: Link) -> None:
+        """Link up/down callback: schedule a table reconcile after the
+        control-plane convergence delay. Delay 0 (static tables) and inf
+        (a control plane that never converges) both skip scheduling, as
+        does a transition before the first route build."""
+        delay = self.convergence_delay_ps
+        if not self._routes_built or delay == 0 or math.isinf(delay):
+            return
+        self.sim.after(int(delay), self._converge)
+
+    def _converge(self) -> None:
+        """Reconcile next-hop tables with the links' *current* state.
+
+        Fired one convergence delay after each transition, so the
+        triggering link may have flapped again meanwhile; reconciling
+        against live state (rather than replaying the transition) keeps
+        overlapping updates convergent in any order. A link restored
+        from a patched-out state forces a full BFS recompute (incremental
+        patching cannot re-rank paths); pure failures are patched
+        incrementally unless some destination loses its last next-hop.
+        """
+        if not self._routes_built:
+            return
+        down_now = {id(ln) for ln in self.links if not ln.up}
+        patched = self._down_patched
+        if patched - down_now:
+            # Something we removed from the tables came back up.
+            self._rebuild_routes()
+            self._down_patched = down_now
+            return
+        fresh = down_now - patched
+        if not fresh:
+            return  # an earlier reconcile already covered this transition
+        removed = 0
+        emptied = False
+        for sw in self.switches:
+            for dst, ports in sw.nexthops.items():
+                if any(id(p.link) in fresh for p in ports):
+                    kept = tuple(p for p in ports if id(p.link) not in fresh)
+                    sw.nexthops[dst] = kept
+                    removed += len(ports) - len(kept)
+                    if not kept:
+                        emptied = True
+        self._down_patched = down_now
+        if emptied:
+            # Some destination lost its whole equal-cost set; recompute
+            # to pick up any longer detour that still exists.
+            self._rebuild_routes()
+            return
+        self.route_patches += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("routing.patches").inc()
+            obs.metrics.counter("routing.ports_removed").inc(removed)
+            ev = obs.events
+            if ev is not None and ev.wants("route"):
+                ev.emit("route", "patch", t=self.sim.now,
+                        ports_removed=removed)
+
+    def _rebuild_routes(self) -> None:
+        """Full up-aware BFS recompute that preserves the distinction
+        between a destination a switch never knew (lookup error) and one
+        it knows but currently cannot reach (empty set -> counted drop)."""
+        known = {sw.node_id: tuple(sw.nexthops) for sw in self.switches}
+        self.build_routes()
+        for sw in self.switches:
+            for dst in known[sw.node_id]:
+                if dst not in sw.nexthops:
+                    sw.nexthops[dst] = ()
+        self.route_rebuilds += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("routing.rebuilds").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("route"):
+                ev.emit("route", "rebuild", t=self.sim.now,
+                        rebuilds=self.route_rebuilds)
 
     def total_drops(self) -> int:
         drops = 0

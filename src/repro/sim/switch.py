@@ -80,6 +80,7 @@ class Switch:
         "qcn",
         "_qcn_last_ps",
         "cnps_sent",
+        "no_route_drops",
     )
 
     MODES = ("ecmp", "rps")
@@ -109,6 +110,7 @@ class Switch:
         self.qcn: Optional[QCNConfig] = None
         self._qcn_last_ps: Dict[int, int] = {}  # flow id -> last CNP time
         self.cnps_sent = 0
+        self.no_route_drops = 0   # known dst, empty equal-cost set
         obs = sim.obs
         if obs is not None:
             self._register_metrics(obs.metrics)
@@ -121,6 +123,7 @@ class Switch:
         registry.gauge(f"{base}.sprayed_pkts", lambda: self.sprayed_pkts)
         registry.gauge(f"{base}.multipath_pkts", lambda: self.multipath_pkts)
         registry.gauge(f"{base}.cnps_sent", lambda: self.cnps_sent)
+        registry.gauge(f"{base}.no_route_drops", lambda: self.no_route_drops)
 
     def set_mode(self, mode: str) -> None:
         if mode not in self.MODES:
@@ -132,9 +135,23 @@ class Switch:
         pkt.hops += 1
         choices = self.nexthops.get(pkt.dst)
         if not choices:
-            raise LookupError(
-                f"switch {self.name} has no route to host {pkt.dst}"
-            )
+            # A destination this switch has never heard of is a wiring
+            # bug; one it knows but currently cannot reach (every
+            # next-hop patched out after failures) is a routed drop.
+            if choices is None:
+                raise LookupError(
+                    f"switch {self.name} has no route to host {pkt.dst}"
+                )
+            self.no_route_drops += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.counter("routing.no_route_drops").inc()
+                ev = obs.events
+                if ev is not None and ev.wants("route"):
+                    ev.emit("route", "no_route_drop", t=self.sim.now,
+                            switch=self.name, dst=pkt.dst,
+                            flow=pkt.flow_id, seq=pkt.seq)
+            return
         if len(choices) == 1:
             port = choices[0]
         elif self.mode == "rps":

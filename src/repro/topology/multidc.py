@@ -49,6 +49,10 @@ class MultiDCConfig:
     phantom: Optional[PhantomQueueConfig] = None
     switch_mode: str = "ecmp"
     seed: int = 1
+    # Control-plane convergence delay for failure-aware routing; None
+    # keeps the Network default (~10 ms). 0 = static tables, inf = a
+    # control plane that never reacts (blackhole control).
+    convergence_delay_ps: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_border_links < 1:
@@ -76,7 +80,14 @@ class MultiDC:
     def __init__(self, sim: Simulator, config: MultiDCConfig = MultiDCConfig()):
         self.sim = sim
         self.config = config
-        self.net = Network(sim, seed=config.seed)
+        if config.convergence_delay_ps is None:
+            self.net = Network(sim, seed=config.seed)
+        else:
+            self.net = Network(
+                sim,
+                seed=config.seed,
+                convergence_delay_ps=config.convergence_delay_ps,
+            )
         ft_config = FatTreeConfig(
             k=config.k,
             gbps=config.gbps,

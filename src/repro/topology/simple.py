@@ -18,6 +18,14 @@ NO_MARKING = REDConfig(min_frac=1.0, max_frac=1.0)
 HOST_QUEUE_BYTES = 64 * MIB
 
 
+def _make_net(sim: Simulator, seed: int,
+              convergence_delay_ps: Optional[float]) -> Network:
+    """Network with the caller's convergence delay, or the default."""
+    if convergence_delay_ps is None:
+        return Network(sim, seed=seed)
+    return Network(sim, seed=seed, convergence_delay_ps=convergence_delay_ps)
+
+
 @dataclass
 class SimpleTopo:
     net: Network
@@ -36,13 +44,14 @@ def dumbbell(
     phantom: Optional[PhantomQueueConfig] = None,
     bottleneck_gbps: Optional[float] = None,
     seed: int = 1,
+    convergence_delay_ps: Optional[float] = None,
 ) -> SimpleTopo:
     """n sender hosts -- swL == swR -- n receiver hosts.
 
     The swL->swR link is the shared bottleneck (optionally slower)."""
     if n_pairs < 1:
         raise ValueError("need at least one pair")
-    net = Network(sim, seed=seed)
+    net = _make_net(sim, seed, convergence_delay_ps)
     sw_l = net.add_switch("swL")
     sw_r = net.add_switch("swR")
     senders = [net.add_host(f"s{i}") for i in range(n_pairs)]
@@ -78,13 +87,14 @@ def incast_star(
     red: Optional[REDConfig] = None,
     phantom: Optional[PhantomQueueConfig] = None,
     seed: int = 1,
+    convergence_delay_ps: Optional[float] = None,
 ) -> SimpleTopo:
     """n senders -> one switch -> one receiver: the canonical incast.
 
     The switch->receiver port is the bottleneck."""
     if n_senders < 1:
         raise ValueError("need at least one sender")
-    net = Network(sim, seed=seed)
+    net = _make_net(sim, seed, convergence_delay_ps)
     sw = net.add_switch("sw")
     receiver = net.add_host("recv")
     senders = [net.add_host(f"s{i}") for i in range(n_senders)]

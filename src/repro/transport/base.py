@@ -30,7 +30,7 @@ from repro.sim.engine import EventHandle, Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.packet import ACK, CNP, DATA, NACK, Packet, make_ack
-from repro.sim.units import bdp_bytes, ser_time_ps
+from repro.sim.units import MS, bdp_bytes, ser_time_ps
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -163,6 +163,8 @@ class Sender:
         on_complete: Optional[Callable[["Sender"], None]] = None,
         rto_multiplier: float = 3.0,
         min_rto_ps: int = 50_000_000,  # 50 us floor
+        max_rto_ps: int = 10 * MS,     # inter-DC-scale backoff ceiling
+        rto_backoff_max: int = 16,
         seed: int = 0,
         is_inter_dc: bool = False,
         start_immediately: bool = False,
@@ -215,6 +217,12 @@ class Sender:
         self._rto_handle: Optional[EventHandle] = None
         self.rto_multiplier = rto_multiplier
         self.min_rto_ps = min_rto_ps
+        self.max_rto_ps = max_rto_ps
+        self.rto_backoff_max = rto_backoff_max
+        # Exponential backoff factor: doubled per consecutive timeout
+        # (capped), reset to 1 whenever an ACK makes progress. Keeps a
+        # blackhole outage from becoming a retransmit storm.
+        self._rto_backoff = 1
 
         self.stats = SenderStats(
             flow_id=flow_id,
@@ -266,11 +274,17 @@ class Sender:
 
     @property
     def rto_ps(self) -> int:
-        """RFC6298-style: srtt + 4*rttvar, scaled and floored. The
-        variance term prevents spurious timeouts when congestion inflates
-        RTTs faster than the smoothed estimate tracks them."""
+        """RFC6298-style: srtt + 4*rttvar, scaled and floored, then
+        stretched by the exponential backoff factor. The variance term
+        prevents spurious timeouts when congestion inflates RTTs faster
+        than the smoothed estimate tracks them; the backoff cap keeps
+        the effective RTO at or below ``max_rto_ps`` (unless the base
+        RTO already exceeds it, e.g. a huge measured WAN RTT)."""
         base = self.srtt_ps + 4.0 * self.rttvar_ps
-        return max(self.min_rto_ps, int(self.rto_multiplier * base))
+        rto = max(self.min_rto_ps, int(self.rto_multiplier * base))
+        if self._rto_backoff > 1:
+            rto = min(rto * self._rto_backoff, max(self.max_rto_ps, rto))
+        return rto
 
     # ------------------------------------------------------------------
     # sending
@@ -427,6 +441,7 @@ class Sender:
         seq = pkt.seq
         if seq < 0:
             # Control ACK (e.g. UnoRC block-complete); no per-seq state.
+            self._rto_backoff = 1
             self._on_control_ack(pkt)
             if not self._check_done():
                 self._maybe_send()
@@ -442,6 +457,7 @@ class Sender:
             return  # duplicate or stale
         sent = self.outstanding.pop(seq)
         self.acked_seqs.add(seq)
+        self._rto_backoff = 1  # ACK progress ends the backoff episode
         payload = sent.payload
         if seq in self._lost_seqs:
             # Declared lost but the original copy arrived after all; its
@@ -523,6 +539,9 @@ class Sender:
             ev.emit("cwnd", "update", t=self.sim.now, flow=self.flow_id,
                     old=cwnd_before, new=self.cwnd, cause="timeout")
         self.path.on_nack_or_timeout(self)
+        # Double the effective RTO for the next consecutive timeout
+        # (after the expiry cutoff above used the pre-bump value).
+        self._rto_backoff = min(self._rto_backoff * 2, self.rto_backoff_max)
         self._maybe_send()
 
     def queue_retransmit(self, seq: int) -> None:

@@ -104,3 +104,33 @@ class TestScheduledFailures:
         schedule_bidirectional_failure(sim, ab, ba, fail_at_ps=1 * US)
         sim.run()
         assert not ab.up and not ba.up
+
+    def test_failing_an_already_down_link_is_skipped(self):
+        """Two overlapping schedules must not double-count the failure
+        (or re-notify the control plane); the second fail is a no-op
+        recorded as ``failure/skipped``."""
+        from repro.obs import enable
+
+        sim = Simulator()
+        enable(sim, event_topics=("failure",), profile=False)
+        link = Link(sim, 100.0, 1 * US, name="l")
+        schedule_link_failure(sim, link, fail_at_ps=1 * US,
+                              repair_after_ps=10 * US)
+        schedule_link_failure(sim, link, fail_at_ps=2 * US)  # already down
+        sim.run(until=5 * US)
+        assert not link.up
+        assert link.failures == 1
+        assert sim.obs.metrics.value("failures.skipped") == 1
+        assert sim.obs.events.count("failure", "skipped") == 1
+
+    def test_restore_is_idempotent(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, 1 * US)
+        calls = []
+        link.on_state_change = calls.append
+        link.fail()
+        link.fail()      # no second transition
+        link.restore()
+        link.restore()   # no second transition
+        assert link.failures == 1
+        assert len(calls) == 2  # one down, one up

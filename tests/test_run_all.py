@@ -65,3 +65,45 @@ class TestOutputLayout:
         capsys.readouterr()
         # Different seeds hash to different cache entries side by side.
         assert len(list((tmp_path / "points" / "fig1").glob("*.json"))) == 8
+
+
+class TestChaosCLI:
+    def test_chaos_campaign_runs_and_writes_summary(self, capsys, tmp_path):
+        run_all.main(["--chaos", "smoke", "--out", str(tmp_path),
+                      "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "Chaos campaign" in out
+        assert "all invariants held" in out
+        summary = json.loads(
+            (tmp_path / "summaries" / "chaos-smoke.json").read_text())
+        assert summary["campaign"] == "smoke"
+        assert summary["total_violations"] == 0
+        assert summary["all_flows_completed"] is True
+        assert summary["n_points"] == 11
+        points = list((tmp_path / "points" / "chaos").glob("*.json"))
+        assert len(points) == 11
+
+    def test_chaos_static_control_fails_the_run(self, capsys, tmp_path):
+        # gemini pinned to cut links under 'inf' convergence blackholes:
+        # the campaign must exit non-zero on the stuck flows.
+        with pytest.raises(SystemExit) as exc:
+            run_all.main(["--chaos", "fibercut", "--out", str(tmp_path),
+                          "--convergence", "inf"])
+        assert exc.value.code == 1
+        capsys.readouterr()
+        summary = json.loads(
+            (tmp_path / "summaries" / "chaos-fibercut.json").read_text())
+        assert summary["convergence"] == "inf"
+        assert not summary["all_flows_completed"]
+
+    def test_chaos_with_only_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--chaos", "smoke", "--only", "fig1"])
+
+    def test_unknown_campaign_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--chaos", "nope"])
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--only", "fig1", "--retries", "-1"])

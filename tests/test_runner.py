@@ -294,3 +294,69 @@ class TestRunnerTelemetry:
         # Aggregated profile: every simulator's executed events, summed.
         assert summary["profile"]["events"] > 0
         assert summary["metrics"]["transport"]["flows_completed"] > 0
+
+
+class TestRunnerRetries:
+    """``retries=N`` re-runs only failed points, keeps every attempt's
+    error record, and caches the final outcome exactly once."""
+
+    def _flaky_point(self, tmp_path, fail_times, name="wobble"):
+        return ExperimentPoint(
+            "selftest", name,
+            {"mode": "flaky", "fail_times": fail_times,
+             "marker": str(tmp_path / f"{name}.attempts"), "quick": True},
+            seed=1)
+
+    def test_retry_turns_failure_into_success(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        p = self._flaky_point(tmp_path, fail_times=1)
+        record = run_points([p], cache=cache, retries=2,
+                            retry_backoff_s=0.0)[0]
+        assert record.ok
+        assert record.result == {"attempts": 2}
+        # The failed first attempt is preserved on the record...
+        assert [a["attempt"] for a in record.attempts] == [1]
+        assert record.attempts[0]["type"] == "ValueError"
+        # ...and the cache holds the success, not the stale failure.
+        assert cache.load(p) == record.result
+        assert cache.load_failure(p) is None
+
+    def test_exhausted_retries_keep_every_attempt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        p = self._flaky_point(tmp_path, fail_times=99)
+        record = run_points([p], cache=cache, retries=2,
+                            retry_backoff_s=0.0)[0]
+        assert not record.ok
+        assert [a["attempt"] for a in record.attempts] == [1, 2, 3]
+        failure = cache.load_failure(p)
+        assert failure is not None
+        assert len(failure["attempts"]) == 3
+        assert all("asked to fail" in a["message"]
+                   for a in failure["attempts"])
+
+    def test_only_failed_points_are_rerun(self, tmp_path):
+        steady = self._flaky_point(tmp_path, fail_times=0, name="steady")
+        flaky = self._flaky_point(tmp_path, fail_times=1, name="flaky")
+        records = run_points([steady, flaky], retries=3,
+                             retry_backoff_s=0.0)
+        assert all(r.ok for r in records)
+        # Attempt counters come from the marker files: the steady point
+        # ran exactly once even though the flaky one needed a second pass.
+        assert records[0].result == {"attempts": 1}
+        assert records[1].result == {"attempts": 2}
+        assert records[0].attempts is None  # never failed: no history
+
+    def test_retries_in_worker_pool(self, tmp_path):
+        p = self._flaky_point(tmp_path, fail_times=1)
+        record = run_points([p], jobs=2, retries=1, retry_backoff_s=0.0)[0]
+        assert record.ok and record.result == {"attempts": 2}
+
+    def test_zero_retries_single_attempt(self, tmp_path):
+        p = self._flaky_point(tmp_path, fail_times=1)
+        record = run_points([p], retries=0)[0]
+        assert not record.ok
+        assert [a["attempt"] for a in record.attempts] == [1]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_points([], retries=-1)

@@ -182,3 +182,63 @@ class TestPathSelector:
         )
         sim.run(until=10**12)
         assert sender.done
+
+
+class TestRTOBackoff:
+    def _stalled_sender(self, **kwargs):
+        """A sender whose packets all vanish: every RTO expires in turn."""
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        bl = topo.net.link_between(topo.senders[0], topo.net.node("sw"))
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 64 * 1024, base_rtt_ps=14 * US, **kwargs,
+        )
+        return sim, bl, sender
+
+    def test_rto_doubles_per_consecutive_timeout_and_caps(self):
+        sim, bl, sender = self._stalled_sender()
+        bl.fail()
+        sim.run(until=1 * US)  # flow started, packets black-holed
+        base = sender.rto_ps
+        seen = []
+        last = sender.stats.timeouts
+        while sender._rto_backoff < sender.rto_backoff_max:
+            sim.run(until=sim.peek_time())
+            if sender.stats.timeouts > last:
+                last = sender.stats.timeouts
+                seen.append(sender.rto_ps)
+        # 2x per timeout until the factor cap...
+        assert seen[:4] == [2 * base, 4 * base, 8 * base, 16 * base]
+        # ...and never beyond the absolute ceiling.
+        assert all(r <= max(sender.max_rto_ps, base) for r in seen)
+        assert sender.rto_ps == min(16 * base, sender.max_rto_ps)
+
+    def test_ack_progress_resets_backoff(self):
+        sim, bl, sender = self._stalled_sender()
+        bl.fail()
+        sim.run(until=200 * US)          # a few timeouts accumulate
+        assert sender._rto_backoff > 1
+        bl.restore()
+        sim.run(until=10**12)
+        assert sender.done
+        assert sender._rto_backoff == 1  # first ACK ended the episode
+
+    def test_no_retransmit_storm_across_blackhole_window(self):
+        """Satellite acceptance: across a 5 ms total outage the doubling
+        RTO fires a handful of timeouts, where a fixed RTO would fire
+        ~100 (one per 50 us floor); the flow still completes on repair."""
+        def run(backoff_max):
+            sim, bl, sender = self._stalled_sender(
+                rto_backoff_max=backoff_max)
+            sim.at(2 * US, bl.fail)  # mid-flow: tail packets black-holed
+            sim.at(2 * US + 5_000 * US, bl.restore)
+            sim.run(until=10**12)
+            return sender
+
+        fixed = run(1)
+        backoff = run(16)
+        assert fixed.done and backoff.done
+        assert fixed.stats.timeouts > 30          # the storm (~1 per RTO)
+        assert backoff.stats.timeouts <= 10       # the fix (~log2 of that)
+        assert backoff.stats.retransmissions < fixed.stats.retransmissions / 4

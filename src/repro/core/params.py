@@ -31,6 +31,11 @@ class UnoParams:
     ec_data_pkts: int = 8                # (8, 2) erasure coding
     ec_parity_pkts: int = 2
     dc_to_wan_ratio: float = 4.0         # realistic workload traffic mix
+    # Retransmission-timer knobs (transport defaults; exposed so failure
+    # experiments can tighten the backoff cap for the whole Uno stack).
+    min_rto_ps: int = 50 * US
+    max_rto_ps: int = 10 * MS
+    rto_backoff_max: int = 16
 
     def __post_init__(self) -> None:
         if self.intra_rtt_ps <= 0 or self.inter_rtt_ps <= 0:
@@ -41,6 +46,10 @@ class UnoParams:
             raise ValueError("link bandwidth must be positive")
         if self.mtu_bytes <= 0:
             raise ValueError("MTU must be positive")
+        if self.min_rto_ps <= 0 or self.max_rto_ps < self.min_rto_ps:
+            raise ValueError("need 0 < min_rto_ps <= max_rto_ps")
+        if self.rto_backoff_max < 1:
+            raise ValueError("rto_backoff_max must be >= 1")
 
     # -- derived ------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.transport.base import (
+    AbortPolicy,
     FixedEntropy,
     PathSelector,
     Receiver,
@@ -56,6 +57,7 @@ def start_uno_flow(
     seed: int = 0,
     base_rtt_ps: Optional[int] = None,
     path: Optional[PathSelector] = None,
+    abort: Optional[AbortPolicy] = None,
 ) -> Sender:
     """Launch one flow under Uno.
 
@@ -78,6 +80,10 @@ def start_uno_flow(
         mss=params.mtu_bytes,
         base_rtt_ps=rtt,
         line_gbps=params.link_gbps,
+        min_rto_ps=params.min_rto_ps,
+        max_rto_ps=params.max_rto_ps,
+        rto_backoff_max=params.rto_backoff_max,
+        abort=abort,
         path=path,
         on_complete=on_complete,
         seed=seed,

@@ -282,6 +282,15 @@ class UnoRCReceiver(Receiver):
         ack.block_id = b
         self.host.send(ack)
 
+    def close(self) -> None:
+        """Cancel block timers along with the base idle timer: an
+        unregistered receiver (flow done, sender aborted, or host crash)
+        must leave nothing armed on the event loop."""
+        super().close()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
     # -- block timer ------------------------------------------------------
 
     def _arm_timer(self, b: int, scale: float = 1.0) -> None:

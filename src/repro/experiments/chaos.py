@@ -31,25 +31,37 @@ from repro.experiments.harness import build_multidc, make_launcher, scale_for
 from repro.sim.chaos import (
     FiberCut,
     GreyFailure,
+    HostCrash,
     LinkFlap,
     LossEpisode,
+    NICFlap,
+    NodeScenario,
     PartitionWindow,
     Scenario,
+    SwitchCrash,
+    ToRReboot,
     check_invariants,
 )
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
-from repro.topology.simple import dumbbell
-from repro.transport.base import Sender, start_flow
+from repro.topology.simple import dual_border, dumbbell
+from repro.transport.base import AbortPolicy, Sender, start_flow
 from repro.transport.dctcp import DCTCP
+from repro.workloads.generator import FlowSpec
 
 EXPERIMENT = "chaos"
 
 HORIZON_PS = 500 * MS  # per-point deadline: every flow must finish by here
 
-TOPOS = ("dumbbell", "two_dc")
+TOPOS = ("dumbbell", "two_dc", "dual_border")
 DUMBBELL_TRANSPORTS = ("dctcp",)
 TWO_DC_TRANSPORTS = ("uno", "gemini")
+
+# Connection abort policy for node-failure campaigns: generous enough
+# that flows riding out a repaired outage (ToR reboot, NIC flap) or a
+# rerouted crash survive, tight enough that flows to a crashed host
+# abort well inside the 500 ms horizon.
+NODE_ABORT = {"max_consecutive_rtos": 40, "deadline_ps": 300 * MS}
 
 # campaign name -> list of (topo, scenario, transport) cells
 CAMPAIGNS: Dict[str, List[tuple]] = {
@@ -68,6 +80,16 @@ CAMPAIGNS: Dict[str, List[tuple]] = {
     "fibercut": [("two_dc", "fiber_cut", t) for t in TWO_DC_TRANSPORTS],
     # Full partition window: every border link down at once, repaired.
     "partition": [("two_dc", "partition", t) for t in TWO_DC_TRANSPORTS],
+    # Node failure domains: a survivable border-switch crash (alternate
+    # path), plus host crash / ToR reboot / core crash / NIC flap on the
+    # two-DC topology with a pinned flow set touching the victim host.
+    # Every flow must end terminal: completed, or aborted by policy.
+    "node-failures": (
+        [("dual_border", "switch_crash", "dctcp")]
+        + [("two_dc", s, t)
+           for s in ("host_crash", "tor_reboot", "core_crash", "nic_flap")
+           for t in TWO_DC_TRANSPORTS]
+    ),
 }
 
 
@@ -105,6 +127,26 @@ def scenario_for(topo: str, name: str) -> Scenario:
             "partition": PartitionWindow(selector="border", k=0,
                                          start_ps=2 * MS,
                                          duration_ps=30 * MS),
+            # Node scenarios strike after the pinned flows are airborne.
+            # hosts[0] ("host" selector, k=1) is the pinned victim; its
+            # ToR is dc0.p0.edge0 ("tor", k=1) — the same blast radius.
+            "host_crash": HostCrash(selector="host", k=1, at_ps=2 * MS,
+                                    repair_after_ps=None),
+            "tor_reboot": ToRReboot(selector="tor", k=1, at_ps=2 * MS,
+                                    down_ps=20 * MS),
+            "core_crash": SwitchCrash(selector="core", k=1, at_ps=2 * MS,
+                                      repair_after_ps=None),
+            "nic_flap": NICFlap(selector="host", k=1, start_ps=2 * MS,
+                                down_ps=1 * MS, period_ps=20 * MS,
+                                flaps=3),
+        }
+    elif topo == "dual_border":
+        presets = {
+            # Permanent crash of one of two parallel border switches:
+            # rerouting over the survivor must complete every flow.
+            "switch_crash": SwitchCrash(selector="border", k=1,
+                                        at_ps=2 * MS,
+                                        repair_after_ps=None),
         }
     else:
         raise ValueError(f"unknown chaos topology {topo!r}")
@@ -137,6 +179,17 @@ def campaign_points(
         raise ValueError(f"unknown campaign {campaign!r}; "
                          f"choose from {sorted(CAMPAIGNS)}")
     base_seed = 7 if seed is None else seed
+    # Node-failure cells carry the abort policy (flattened to scalar
+    # keys — point configs are JSON-scalar cache keys) and pin the flow
+    # set to the victim host; older campaigns keep their exact
+    # historical configs.
+    extra: Dict[str, Any] = {}
+    if campaign == "node-failures":
+        extra = {
+            "abort_max_consecutive_rtos": NODE_ABORT["max_consecutive_rtos"],
+            "abort_deadline_ps": NODE_ABORT["deadline_ps"],
+            "flows": "pinned",
+        }
     return [
         ExperimentPoint(
             experiment=EXPERIMENT,
@@ -148,6 +201,7 @@ def campaign_points(
                 "scenario": scenario,
                 "transport": transport,
                 "convergence": convergence,
+                **extra,
             },
             seed=base_seed,
         )
@@ -165,6 +219,16 @@ def points(quick: bool = True,
 # Point execution
 # ----------------------------------------------------------------------
 
+def _abort_policy(cfg) -> Optional[AbortPolicy]:
+    """Rebuild the point's abort policy from its JSON config (None for
+    the historical campaigns — transports never abort by default)."""
+    max_rtos = cfg.get("abort_max_consecutive_rtos")
+    deadline = cfg.get("abort_deadline_ps")
+    if max_rtos is None and deadline is None:
+        return None
+    return AbortPolicy(max_consecutive_rtos=max_rtos, deadline_ps=deadline)
+
+
 def _dumbbell_flows(sim, cfg, seed) -> tuple:
     size = 256 * 1024 if cfg["quick"] else 1024 * 1024
     topo = dumbbell(
@@ -178,9 +242,59 @@ def _dumbbell_flows(sim, cfg, seed) -> tuple:
             start_ps=i * 20 * US,
             base_rtt_ps=4 * 5 * US,
             line_gbps=25.0,
+            abort=_abort_policy(cfg),
             seed=seed + i,
         ))
     return topo.net, senders
+
+
+def _dual_border_flows(sim, cfg, seed) -> tuple:
+    size = 256 * 1024 if cfg["quick"] else 1024 * 1024
+    topo = dual_border(
+        sim, n_pairs=4, gbps=25.0, prop_ps=5 * US, queue_bytes=256 * 1024,
+        seed=seed, convergence_delay_ps=parse_convergence(cfg["convergence"]),
+    )
+    senders: List[Sender] = []
+    for i, (src, dst) in enumerate(zip(topo.senders, topo.receivers)):
+        senders.append(start_flow(
+            sim, topo.net, DCTCP(), src, dst, size,
+            start_ps=i * 20 * US,
+            base_rtt_ps=6 * 5 * US,  # 3 hops each way
+            line_gbps=25.0,
+            abort=_abort_policy(cfg),
+            seed=seed + i,
+        ))
+    return topo.net, senders
+
+
+def _pinned_specs(topo, cfg, rng) -> List[FlowSpec]:
+    """Deterministic flow set anchored on ``net.hosts[0]`` — the node
+    the ``host``/``tor`` selectors (k=1) strike. Flows INTO the victim
+    must abort by policy when it crashes; the flow OUT of it is torn
+    down by the crash itself; background flows must stay unaffected."""
+    hosts = topo.net.hosts
+    victim = hosts[0]
+    far = [h for h in hosts if h.dc != victim.dc]
+    near = [h for h in hosts if h.dc == victim.dc and h is not victim]
+    size_inter = 128 * 1024 if cfg["quick"] else 512 * 1024
+    size_intra = 64 * 1024 if cfg["quick"] else 256 * 1024
+    return [
+        # Two inter-DC flows into the victim, one out of it.
+        FlowSpec(start_ps=0, src=far[0], dst=victim,
+                 size_bytes=size_inter, is_inter_dc=True),
+        FlowSpec(start_ps=100 * US, src=far[1], dst=victim,
+                 size_bytes=size_inter, is_inter_dc=True),
+        FlowSpec(start_ps=0, src=victim, dst=far[2],
+                 size_bytes=size_inter, is_inter_dc=True),
+        # Background inter-DC flows avoiding the victim.
+        FlowSpec(start_ps=200 * US, src=near[0], dst=far[3],
+                 size_bytes=size_inter, is_inter_dc=True),
+        FlowSpec(start_ps=300 * US, src=far[4], dst=near[1],
+                 size_bytes=size_inter, is_inter_dc=True),
+        # Intra-DC background (near the victim's ToR).
+        FlowSpec(start_ps=0, src=near[2], dst=near[3],
+                 size_bytes=size_intra, is_inter_dc=False),
+    ]
 
 
 def _two_dc_flows(sim, cfg, seed) -> tuple:
@@ -190,21 +304,23 @@ def _two_dc_flows(sim, cfg, seed) -> tuple:
         sim, cfg["transport"], params, scale, seed=seed,
         convergence_delay_ps=parse_convergence(cfg["convergence"]),
     )
-    launcher = make_launcher(cfg["transport"], sim, topo, params, seed=seed)
+    launcher = make_launcher(cfg["transport"], sim, topo, params, seed=seed,
+                             abort=_abort_policy(cfg))
     rng = random.Random(seed)
-    size_inter = 128 * 1024 if cfg["quick"] else 512 * 1024
-    size_intra = 64 * 1024 if cfg["quick"] else 256 * 1024
-    from repro.workloads.generator import FlowSpec
-
-    specs = []
-    for i in range(6):
-        src, dst = topo.random_host_pair(rng, inter_dc=True)
-        specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
-                              size_bytes=size_inter, is_inter_dc=True))
-    for i in range(2):
-        src, dst = topo.random_host_pair(rng, inter_dc=False)
-        specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
-                              size_bytes=size_intra, is_inter_dc=False))
+    if cfg.get("flows") == "pinned":
+        specs = _pinned_specs(topo, cfg, rng)
+    else:
+        size_inter = 128 * 1024 if cfg["quick"] else 512 * 1024
+        size_intra = 64 * 1024 if cfg["quick"] else 256 * 1024
+        specs = []
+        for i in range(6):
+            src, dst = topo.random_host_pair(rng, inter_dc=True)
+            specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
+                                  size_bytes=size_inter, is_inter_dc=True))
+        for i in range(2):
+            src, dst = topo.random_host_pair(rng, inter_dc=False)
+            specs.append(FlowSpec(start_ps=i * 100 * US, src=src, dst=dst,
+                                  size_bytes=size_intra, is_inter_dc=False))
     senders = [launcher(spec, idx, lambda _s: None)
                for idx, spec in enumerate(specs)]
     return topo.net, senders
@@ -226,22 +342,39 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
         net, senders = _dumbbell_flows(sim, cfg, point.seed)
     elif cfg["topo"] == "two_dc":
         net, senders = _two_dc_flows(sim, cfg, point.seed)
+    elif cfg["topo"] == "dual_border":
+        net, senders = _dual_border_flows(sim, cfg, point.seed)
     else:
         raise ValueError(f"unknown chaos topology {cfg['topo']!r}")
 
     scenario = scenario_for(cfg["topo"], cfg["scenario"])
     rng = random.Random(point.seed ^ 0xC4A05)
     targets = scenario.apply(sim, net, rng)
+    if isinstance(scenario, NodeScenario):
+        cables_hit, nodes_hit = [], [node.name for node in targets]
+    else:
+        cables_hit, nodes_hit = [ab.name for ab, _ba in targets], []
 
     sim.run(until=HORIZON_PS)
     violations = check_invariants(sim, net, senders, HORIZON_PS)
 
     fcts = [s.stats.fct_ps for s in senders if s.stats.fct_ps is not None]
+    completed = sum(1 for s in senders if s.done)
+    aborted = sum(1 for s in senders if getattr(s, "aborted", False))
+    abort_reasons: Dict[str, int] = {}
+    for s in senders:
+        reason = s.stats.abort_reason
+        if reason is not None:
+            abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
     return {
         "scenario": scenario.describe(),
-        "cables_hit": [ab.name for ab, _ba in targets],
+        "cables_hit": cables_hit,
+        "nodes_hit": nodes_hit,
         "n_flows": len(senders),
-        "completed": sum(1 for s in senders if s.done),
+        "completed": completed,
+        "aborted": aborted,
+        "stuck": len(senders) - completed - aborted,
+        "abort_reasons": abort_reasons,
         "violations": violations,
         "n_violations": len(violations),
         "max_fct_ms": max(fcts) / MS if fcts else None,
@@ -250,6 +383,7 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
         "route_patches": net.route_patches,
         "route_rebuilds": net.route_rebuilds,
         "no_route_drops": sum(sw.no_route_drops for sw in net.switches),
+        "down_node_drops": sum(node.down_node_drops for node in net.nodes),
         "failed_drops": sum(ln.failed_drops for ln in net.links),
         "lost_pkts": sum(ln.lost_pkts for ln in net.links),
     }
@@ -265,13 +399,18 @@ def summarize(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
     cells = {}
     total_violations = 0
     all_completed = True
+    all_terminal = True
     for name in sorted(results):
         res = results[name]
         total_violations += res["n_violations"]
+        aborted = res.get("aborted", 0)
         completed_all = res["completed"] == res["n_flows"]
         all_completed = all_completed and completed_all
+        all_terminal = (all_terminal
+                        and res["completed"] + aborted == res["n_flows"])
         cells[name] = {
             "completed": res["completed"],
+            "aborted": aborted,
             "n_flows": res["n_flows"],
             "n_violations": res["n_violations"],
             "violations": res["violations"],
@@ -284,24 +423,31 @@ def summarize(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
         "n_points": len(cells),
         "total_violations": total_violations,
         "all_flows_completed": all_completed,
+        # The campaign gate: every flow reached a *terminal* state —
+        # completed, or aborted by its connection policy. Stuck flows
+        # (neither) are the failure mode node chaos is hunting for.
+        "all_flows_terminal": all_terminal,
     }
 
 
 def report(res: Dict[str, Any]) -> None:
     """Print the per-point campaign table and the overall verdict."""
     print("Chaos campaign")
-    print(f"  {'point':<44} {'flows':>7} {'viol':>5} "
+    print(f"  {'point':<44} {'flows':>7} {'abort':>5} {'viol':>5} "
           f"{'patch':>5} {'rebuild':>7} {'maxFCT(ms)':>11}")
     for name, cell in res["points"].items():
         fct = cell["max_fct_ms"]
         fct_s = f"{fct:.2f}" if fct is not None else "-"
         flows = f"{cell['completed']}/{cell['n_flows']}"
-        print(f"  {name:<44} {flows:>7} {cell['n_violations']:>5} "
+        print(f"  {name:<44} {flows:>7} {cell.get('aborted', 0):>5} "
+              f"{cell['n_violations']:>5} "
               f"{cell['route_patches']:>5} {cell['route_rebuilds']:>7} "
               f"{fct_s:>11}")
-    verdict = ("all invariants held"
-               if res["total_violations"] == 0 and res["all_flows_completed"]
-               else f"{res['total_violations']} INVARIANT VIOLATIONS")
+    if res["total_violations"] == 0 and res.get("all_flows_terminal", True):
+        verdict = ("all invariants held" if res["all_flows_completed"]
+                   else "all invariants held (some flows aborted by policy)")
+    else:
+        verdict = f"{res['total_violations']} INVARIANT VIOLATIONS"
     print(f"  => {res['n_points']} points, {verdict}")
 
 

@@ -28,7 +28,7 @@ from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.units import MIB, MS, US
 from repro.topology.multidc import MultiDC, MultiDCConfig
-from repro.transport.base import FixedEntropy, Sender, start_flow
+from repro.transport.base import AbortPolicy, FixedEntropy, Sender, start_flow
 from repro.transport.bbr import BBR
 from repro.transport.gemini import Gemini, GeminiConfig
 from repro.transport.mprdma import MPRDMA
@@ -138,6 +138,7 @@ def make_launcher(
     seed: int = 0,
     lb: Optional[str] = None,   # Uno only: "unolb" (default), "ecmp", "plb", "rps"
     ec: Optional[bool] = None,  # Uno only: erasure coding on inter-DC flows
+    abort: Optional[AbortPolicy] = None,  # connection abort policy (all schemes)
 ) -> FlowLauncher:
     """Build the per-scheme flow launcher used by every experiment."""
     if scheme not in SCHEMES:
@@ -168,6 +169,7 @@ def make_launcher(
                 use_rc=use_ec,
                 use_lb=False,  # path passed explicitly below
                 path=path,
+                abort=abort,
                 on_complete=on_complete,
                 seed=seed ^ (idx * 0x9E3779B1),
             )
@@ -194,6 +196,7 @@ def make_launcher(
                 base_rtt_ps=params.base_rtt_for(is_inter),
                 line_gbps=params.link_gbps,
                 is_inter_dc=is_inter,
+                abort=abort,
                 on_complete=on_complete,
                 seed=seed ^ (idx * 0x9E3779B1),
             )
@@ -216,6 +219,7 @@ def make_launcher(
             base_rtt_ps=params.base_rtt_for(is_inter),
             line_gbps=params.link_gbps,
             is_inter_dc=is_inter,
+            abort=abort,
             on_complete=on_complete,
             seed=seed ^ (idx * 0x9E3779B1),
         )

@@ -26,8 +26,8 @@ keeps every attempt's traceback.
 :mod:`repro.experiments.chaos`) instead of the paper experiments: the
 campaign's scenario x transport grid becomes the point set, the summary
 lands at ``<out>/summaries/chaos-<campaign>.json``, and the exit status
-is non-zero if any point fails, any flow is left incomplete, or any run
-invariant is violated. ``--convergence`` selects the control plane for
+is non-zero if any point fails, any flow ends non-terminal (neither
+completed nor aborted by policy), or any run invariant is violated. ``--convergence`` selects the control plane for
 every campaign point: ``default`` (failure-aware rerouting), a number
 (delay in ps; ``0`` = static tables), or ``inf`` (never reroute).
 
@@ -149,8 +149,9 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
     """Execute one chaos campaign through the shared point runner.
 
     Writes ``<out>/summaries/chaos-<campaign>.json`` and exits non-zero
-    when any point fails, any flow misses the deadline, or any run
-    invariant is violated — so CI can gate on the campaign directly.
+    when any point fails, any flow ends non-terminal (neither completed
+    nor aborted by its connection policy), or any run invariant is
+    violated — so CI can gate on the campaign directly.
     """
     from repro.experiments import chaos
 
@@ -189,7 +190,7 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
     elapsed = sum(r.elapsed_s for r in records)
     print(f"[chaos {args.chaos} done in {elapsed:.1f}s]")
 
-    if failed or res["total_violations"] or not res["all_flows_completed"]:
+    if failed or res["total_violations"] or not res["all_flows_terminal"]:
         raise SystemExit(1)
 
 

@@ -18,6 +18,13 @@ target cables (both directions of a bidirectional link):
 of them). Selection is deterministic given the network and the seed, so
 a campaign point re-runs bit-identically.
 
+*Node* scenarios (:class:`SwitchCrash`, :class:`ToRReboot`,
+:class:`HostCrash`, :class:`NICFlap`) strike whole failure domains
+instead of cables, via node selectors (``tor``/``agg``/``core``/
+``border``/``host``/``random``) with the same ``k`` and zero-match
+semantics. A crashed node fails every attached cable as one convergence
+event; a crashed host additionally tears down its transport endpoints.
+
 :func:`check_invariants` is the post-run checker every chaos campaign
 point calls: packet conservation at each directed link, no flow stuck
 past the deadline, the event loop drained, and per-flow completion
@@ -38,7 +45,9 @@ from repro.sim.failures import (
     GilbertElliottLoss,
     calibrate_gilbert_elliott,
     schedule_bidirectional_failure,
+    schedule_node_failure,
 )
+from repro.sim.host import Host
 from repro.sim.link import Link
 from repro.sim.switch import Switch
 
@@ -50,6 +59,11 @@ if TYPE_CHECKING:  # pragma: no cover
 Cable = Tuple[Link, Link]
 
 SELECTORS = ("border", "core", "inter_switch", "random", "all")
+
+# Node selectors, keyed to the repo's topology naming conventions:
+# fat-tree switches are "dc{d}.p{p}.edge{j}" / "dc{d}.p{p}.agg{j}" /
+# "dc{d}.core{c}", inter-DC gateways contain "border".
+NODE_SELECTORS = ("tor", "agg", "core", "border", "host", "random")
 
 
 def cables(net: "Network") -> List[Cable]:
@@ -101,6 +115,45 @@ def select_cables(
     if not matched:
         raise ValueError(
             f"selector {selector!r} matched no cables on this network"
+        )
+    if selector == "random":
+        rng = rng or random.Random(0)
+        n = min(k, len(matched)) if k > 0 else len(matched)
+        return rng.sample(matched, n)
+    if k > 0:
+        matched = matched[:k]
+    return matched
+
+
+def select_nodes(
+    net: "Network",
+    selector: str,
+    k: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List:
+    """The target nodes for a node-level scenario, deterministically
+    ordered. Same contract as :func:`select_cables`: ``k=0`` keeps every
+    match, ``k>0`` the first k (a seeded sample for ``"random"``), and a
+    selector matching zero nodes raises rather than silently arming a
+    vacuous scenario."""
+    if selector not in NODE_SELECTORS:
+        raise ValueError(f"unknown node selector {selector!r}; "
+                         f"choose from {NODE_SELECTORS}")
+    if selector == "host":
+        matched = list(net.hosts)
+    elif selector == "random":
+        matched = list(net.nodes)
+    elif selector == "tor":
+        matched = [sw for sw in net.switches if ".edge" in sw.name]
+    elif selector == "agg":
+        matched = [sw for sw in net.switches if ".agg" in sw.name]
+    elif selector == "core":
+        matched = [sw for sw in net.switches if "core" in sw.name]
+    else:  # "border"
+        matched = [sw for sw in net.switches if "border" in sw.name]
+    if not matched:
+        raise ValueError(
+            f"node selector {selector!r} matched no nodes on this network"
         )
     if selector == "random":
         rng = rng or random.Random(0)
@@ -255,10 +308,122 @@ class PartitionWindow(Scenario):
                                        self.duration_ps)
 
 
+# ----------------------------------------------------------------------
+# Node-level scenarios (failure domains)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeScenario(Scenario):
+    """Base for scenarios striking *nodes* (switches or hosts) rather
+    than cables: targets come from :func:`select_nodes`, and ``apply``
+    returns the node objects hit."""
+
+    selector: str = "tor"
+
+    def apply(self, sim: "Simulator", net: "Network",
+              rng: Optional[random.Random] = None) -> List:
+        rng = rng or random.Random(0)
+        targets = select_nodes(net, self.selector, self.k, rng)
+        for node in targets:
+            self._apply_node(sim, node, rng)
+        return targets
+
+    def _apply_node(self, sim: "Simulator", node, rng: random.Random) -> None:
+        raise NotImplementedError
+
+    def _apply_cable(self, sim, cable, rng) -> None:  # pragma: no cover
+        raise TypeError("node scenarios strike nodes, not cables")
+
+
+@dataclass(frozen=True)
+class SwitchCrash(NodeScenario):
+    """A switch dies at ``at_ps`` — every attached cable fails as one
+    event — and comes back after ``repair_after_ps`` (None = never)."""
+
+    kind: ClassVar[str] = "switch_crash"
+
+    selector: str = "border"
+    at_ps: int = 0
+    repair_after_ps: Optional[int] = None
+
+    def _apply_node(self, sim, node, rng) -> None:
+        schedule_node_failure(sim, node, self.at_ps, self.repair_after_ps)
+
+
+@dataclass(frozen=True)
+class ToRReboot(NodeScenario):
+    """A top-of-rack switch reboots: down at ``at_ps``, back up
+    ``down_ps`` later. Hosts under it are unreachable meanwhile (no
+    alternate path below the ToR), so their flows must ride it out."""
+
+    kind: ClassVar[str] = "tor_reboot"
+
+    selector: str = "tor"
+    at_ps: int = 0
+    down_ps: int = 20_000_000_000  # 20 ms reboot
+
+    def __post_init__(self) -> None:
+        if self.down_ps <= 0:
+            raise ValueError("reboot outage must be positive")
+
+    def _apply_node(self, sim, node, rng) -> None:
+        schedule_node_failure(sim, node, self.at_ps, self.down_ps)
+
+
+@dataclass(frozen=True)
+class HostCrash(NodeScenario):
+    """A host crashes at ``at_ps``: its endpoints are torn down (local
+    senders abort, receivers close) and its NIC cable fails. Remote
+    senders whose peer died are expected to hit their abort policy."""
+
+    kind: ClassVar[str] = "host_crash"
+
+    selector: str = "host"
+    at_ps: int = 0
+    repair_after_ps: Optional[int] = None
+
+    def _apply_node(self, sim, node, rng) -> None:
+        schedule_node_failure(sim, node, self.at_ps, self.repair_after_ps)
+
+
+@dataclass(frozen=True)
+class NICFlap(NodeScenario):
+    """A host's NIC cables flap — repeated short bidirectional outages —
+    while the host itself stays up: connection state survives and flows
+    must recover by retransmission alone (no endpoint teardown)."""
+
+    kind: ClassVar[str] = "nic_flap"
+
+    selector: str = "host"
+    start_ps: int = 0
+    down_ps: int = 1_000_000_000      # 1 ms outage
+    period_ps: int = 20_000_000_000   # 20 ms between flap starts
+    flaps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.flaps < 1:
+            raise ValueError("need at least one flap")
+        if not 0 < self.down_ps < self.period_ps:
+            raise ValueError("flap outage must be shorter than its period")
+
+    def _apply_node(self, sim, node, rng) -> None:
+        links = node.attached_links
+        # attached_links holds both directions of each cable,
+        # consecutively, in Network.add_link wiring order.
+        for ab, ba in zip(links[0::2], links[1::2]):
+            for i in range(self.flaps):
+                schedule_bidirectional_failure(
+                    sim, ab, ba,
+                    self.start_ps + i * self.period_ps,
+                    self.down_ps,
+                )
+
+
 SCENARIO_KINDS = {
     cls.kind: cls
     for cls in (LinkFlap, FiberCut, GreyFailure, LossEpisode,
-                PartitionWindow)
+                PartitionWindow, SwitchCrash, ToRReboot, HostCrash,
+                NICFlap)
 }
 
 
@@ -301,10 +466,19 @@ def check_invariants(
     - **packet_conservation** — per directed link, packets the port fully
       serialized equal packets the link delivered + lost to a loss model
       + killed by failure;
-    - **flow_stuck** — a sender not done by the deadline;
+    - **flow_stuck** — a sender neither completed nor aborted by the
+      deadline (aborting is a *terminal* outcome, not a violation);
     - **completion_accounting** — a sender that claims completion without
       full delivery (``_all_delivered``; UnoRC's block-coverage override
       makes this check EC recovery) or with an inconsistent FCT;
+    - **abort_accounting** — an aborted sender missing its abort
+      reason/time or also claiming completion;
+    - **timer_after_terminal** — a terminal sender with a live RTO,
+      pacing, or deadline timer;
+    - **endpoint_on_down_node** — a crashed host still holding endpoint
+      registrations (its teardown must strip them);
+    - **active_sender_on_down_node** — a non-terminal sender whose host
+      is down (a crashed host cannot have live connections);
     - **event_loop_not_drained** — events still pending after the
       deadline (leaked timers keep simulations alive forever).
     """
@@ -328,7 +502,9 @@ def check_invariants(
                 })
 
     for sender in senders:
-        if not sender.done:
+        stats = sender.stats
+        aborted = getattr(sender, "aborted", False)
+        if not sender.done and not aborted:
             violations.append({
                 "invariant": "flow_stuck",
                 "flow": sender.flow_id,
@@ -337,8 +513,17 @@ def check_invariants(
                 "total_data_pkts": sender.total_data_pkts,
             })
             continue
-        stats = sender.stats
-        if not sender._all_delivered() or stats.finish_ps is None \
+        if aborted:
+            if (stats.finish_ps is not None or stats.aborted_ps is None
+                    or stats.abort_reason is None):
+                violations.append({
+                    "invariant": "abort_accounting",
+                    "flow": sender.flow_id,
+                    "finish_ps": stats.finish_ps,
+                    "aborted_ps": stats.aborted_ps,
+                    "abort_reason": stats.abort_reason,
+                })
+        elif not sender._all_delivered() or stats.finish_ps is None \
                 or stats.finish_ps < stats.start_ps:
             violations.append({
                 "invariant": "completion_accounting",
@@ -346,6 +531,34 @@ def check_invariants(
                 "all_delivered": sender._all_delivered(),
                 "start_ps": stats.start_ps,
                 "finish_ps": stats.finish_ps,
+            })
+        live = [
+            name for name in
+            ("_rto_handle", "_pace_handle", "_deadline_handle")
+            if getattr(sender, name, None) is not None
+        ]
+        if live:
+            violations.append({
+                "invariant": "timer_after_terminal",
+                "flow": sender.flow_id,
+                "timers": live,
+                "aborted": bool(aborted),
+            })
+
+    for host in net.hosts:
+        if not host.up and host.endpoints:
+            violations.append({
+                "invariant": "endpoint_on_down_node",
+                "node": host.name,
+                "flows": sorted(host.endpoints),
+            })
+    for sender in senders:
+        terminal = sender.done or getattr(sender, "aborted", False)
+        if not terminal and not sender.src.up:
+            violations.append({
+                "invariant": "active_sender_on_down_node",
+                "flow": sender.flow_id,
+                "node": sender.src.name,
             })
 
     next_event = sim.peek_time()

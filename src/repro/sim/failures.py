@@ -183,3 +183,39 @@ def schedule_bidirectional_failure(
     """Fail both directions of a cable at once (a fiber cut)."""
     schedule_link_failure(sim, link_ab, fail_at_ps, repair_after_ps)
     schedule_link_failure(sim, link_ba, fail_at_ps, repair_after_ps)
+
+
+def _fail_node_or_skip(sim: "Simulator", node) -> None:
+    """Fire a scheduled node failure, unless the node is already down —
+    the same overlap semantics links have: the late schedule is a logged
+    no-op and the earlier schedule's repair still restores the node."""
+    if not node.up:
+        obs = sim.obs
+        if obs is not None:
+            obs.metrics.counter("failures.skipped").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "skipped", t=sim.now, node=node.name)
+        return
+    node.fail()
+
+
+def schedule_node_failure(
+    sim: "Simulator",
+    node,
+    fail_at_ps: int,
+    repair_after_ps: Optional[int] = None,
+) -> None:
+    """Crash ``node`` (a Switch or Host) at ``fail_at_ps``; optionally
+    restore it after a delay. The crash atomically fails every attached
+    cable and, on hosts, tears down registered transport endpoints."""
+    obs = sim.obs
+    if obs is not None:
+        obs.metrics.counter("failures.scheduled").inc()
+        ev = obs.events
+        if ev is not None and ev.wants("failure"):
+            ev.emit("failure", "scheduled", t=sim.now, node=node.name,
+                    fail_at=fail_at_ps, repair_after=repair_after_ps)
+    sim.at(fail_at_ps, _fail_node_or_skip, sim, node)
+    if repair_after_ps is not None:
+        sim.at(fail_at_ps + repair_after_ps, node.restore)

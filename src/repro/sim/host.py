@@ -6,12 +6,18 @@ its edge switch) and a flow-endpoint registry: transport endpoints
 arriving at the host is dispatched to the endpoint registered for its
 flow. Unknown flows are counted, not fatal — packets can legitimately
 arrive after a flow completed (e.g. duplicate retransmissions).
+
+Hosts are failure domains (:class:`~repro.sim.node.FailureDomain`): a
+crashed host fails its NIC cables and tears down every registered
+endpoint — senders are aborted, receivers closed — so no timer or
+registration survives on a dead node.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Protocol, Tuple
 
+from repro.sim.node import FailureDomain
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,7 +30,7 @@ class Endpoint(Protocol):
     def on_packet(self, pkt: Packet) -> None: ...
 
 
-class Host:
+class Host(FailureDomain):
     """An end host: one NIC uplink port plus the per-flow endpoint registry."""
     __slots__ = (
         "sim",
@@ -35,6 +41,9 @@ class Host:
         "rx_pkts",
         "orphan_pkts",
         "dc",
+        "up",
+        "attached_links",
+        "down_node_drops",
     )
 
     def __init__(self, sim: "Simulator", node_id: int, name: str, dc: int = 0):
@@ -46,6 +55,7 @@ class Host:
         self.endpoints: Dict[int, Endpoint] = {}
         self.rx_pkts = 0
         self.orphan_pkts = 0
+        self._init_failure_domain()
         obs = sim.obs
         if obs is not None:
             self._register_metrics(obs.metrics)
@@ -56,6 +66,8 @@ class Host:
         base = f"host.{metric_key(self.name)}"
         registry.gauge(f"{base}.rx_pkts", lambda: self.rx_pkts)
         registry.gauge(f"{base}.orphan_pkts", lambda: self.orphan_pkts)
+        registry.gauge(f"{base}.down_node_drops", lambda: self.down_node_drops)
+        registry.gauge(f"{base}.up", lambda: self.up)
 
     # -- endpoint registry -------------------------------------------------
 
@@ -67,7 +79,34 @@ class Host:
         self.endpoints[flow_id] = endpoint
 
     def unregister(self, flow_id: int) -> None:
-        self.endpoints.pop(flow_id, None)
+        """Remove (and close) the endpoint registered for ``flow_id``.
+
+        Endpoints exposing ``close()`` (receivers) get it called so
+        their private timers die with the registration — otherwise an
+        unregistered receiver's idle/block timers would keep the event
+        loop alive with nothing to deliver to.
+        """
+        endpoint = self.endpoints.pop(flow_id, None)
+        if endpoint is None:
+            return
+        close = getattr(endpoint, "close", None)
+        if close is not None:
+            close()
+
+    def _on_fail(self) -> None:
+        """Crash teardown: abort local senders, close local receivers.
+
+        An aborted sender unregisters both its endpoints itself (which
+        mutates ``self.endpoints``, hence the list() snapshot); plain
+        receivers are dropped through :meth:`unregister` so their timers
+        are cancelled.
+        """
+        for flow_id, endpoint in list(self.endpoints.items()):
+            abort = getattr(endpoint, "abort", None)
+            if abort is not None:
+                abort("host_failed")
+            else:
+                self.unregister(flow_id)
 
     # -- datapath ----------------------------------------------------------
 
@@ -84,6 +123,9 @@ class Host:
         self.uplink.enqueue(pkt)
 
     def receive(self, pkt: Packet) -> None:
+        if not self.up:
+            self._count_down_drop()
+            return
         self.rx_pkts += 1
         endpoint = self.endpoints.get(pkt.flow_id)
         if endpoint is None:

@@ -27,6 +27,7 @@ class Link:
         "name",
         "gbps",
         "prop_ps",
+        "src",
         "dst",
         "up",
         "loss_model",
@@ -54,6 +55,7 @@ class Link:
         self.name = name
         self.gbps = gbps
         self.prop_ps = prop_ps
+        self.src = None  # sending node; wired by Network (node failure domains)
         self.dst = None  # node with .receive(pkt); wired by Network
         self.up = True
         # Called with this link after every up/down transition; the

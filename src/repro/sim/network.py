@@ -81,6 +81,10 @@ class Network:
         # Links (by id) currently excluded from the next-hop tables;
         # reconciles compare this against live link state.
         self._down_patched: set = set()
+        # Fire time of the latest scheduled reconcile: transitions at one
+        # instant (a node failing all its cables) coalesce into a single
+        # convergence event instead of N redundant ones.
+        self._converge_at = -1
 
     # -- construction ------------------------------------------------------
 
@@ -148,8 +152,14 @@ class Network:
         suffix = f"#{idx}" if idx else ""
         link_ab = Link(self.sim, gbps, prop_ps, name=f"{a.name}->{b.name}{suffix}")
         link_ba = Link(self.sim, gbps, prop_ps, name=f"{b.name}->{a.name}{suffix}")
+        link_ab.src = a
         link_ab.dst = b
+        link_ba.src = b
         link_ba.dst = a
+        # Both directions of the cable belong to both endpoints' failure
+        # domains: either node crashing takes the whole cable down.
+        a.attached_links.extend((link_ab, link_ba))
+        b.attached_links.extend((link_ab, link_ba))
         port_ab = Port(
             self.sim,
             link_ab,
@@ -229,6 +239,11 @@ class Network:
                         # Hosts never forward transit traffic.
                         if isinstance(node_v, Host):
                             continue
+                        # A down switch forwards nothing. Its links are
+                        # normally all down too; this guards the case of
+                        # a cable independently restored into a dead node.
+                        if not node_v.up:
+                            continue
                         # Forwarding toward the destination traverses the
                         # v->u link (parallel cables share the index, so
                         # a later adjacency entry retries this neighbor).
@@ -263,7 +278,15 @@ class Network:
         delay = self.convergence_delay_ps
         if not self._routes_built or delay == 0 or math.isinf(delay):
             return
-        self.sim.after(int(delay), self._converge)
+        fire = self.sim.now + int(delay)
+        if fire == self._converge_at:
+            # Another transition at this same instant already scheduled
+            # the reconcile (e.g. a node failure cutting N cables at
+            # once): one convergence event covers them all, because
+            # _converge reconciles against *live* link state.
+            return
+        self._converge_at = fire
+        self.sim.at(fire, self._converge)
 
     def _converge(self) -> None:
         """Reconcile next-hop tables with the links' *current* state.

@@ -1,0 +1,91 @@
+"""Node-level failure domains.
+
+A node (switch or host) is a *failure domain*: failing it atomically
+fails every attached cable through the normal ``Link.fail`` notification
+path, so the owning :class:`~repro.sim.network.Network` sees the whole
+event as one control-plane convergence (the network dedupes same-instant
+transitions), and marks the node itself down so any packet that still
+reaches it — e.g. over a cable independently restored while the node is
+dead — is dropped and counted (``down_node_drops``).
+
+``restore()`` re-ups only the cables whose *other* endpoint is also up:
+when two adjacent nodes are down, the cable between them stays dark
+until the second one returns. A cable that an independent link-level
+scenario cut before the node failed is re-upped by the node's restore;
+the scenario's own later repair is then an idempotent no-op.
+
+Implemented as a mixin with empty ``__slots__`` so the slotted
+:class:`~repro.sim.switch.Switch` and :class:`~repro.sim.host.Host`
+classes can inherit it; subclasses declare the actual slots
+(``up``, ``attached_links``, ``down_node_drops``) and call
+:meth:`_init_failure_domain` during construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.link import Link
+
+
+class FailureDomain:
+    """Mixin: node up/down state plus atomic attached-cable failure."""
+
+    __slots__ = ()
+
+    def _init_failure_domain(self) -> None:
+        self.up = True
+        # Every unidirectional link touching this node (both directions
+        # of each cable), appended by Network.add_link in wiring order.
+        self.attached_links: List["Link"] = []
+        self.down_node_drops = 0
+
+    def _count_down_drop(self) -> None:
+        """A packet reached this node while it was down."""
+        self.down_node_drops += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("failures.down_node_drops").inc()
+
+    def fail(self) -> None:
+        """Take the node down, failing every attached cable. Idempotent:
+        failing a down node is a no-op (no double-counted transitions)."""
+        if not self.up:
+            return
+        self.up = False
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("failures.node_down").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "node_down", t=self.sim.now,
+                        node=self.name)
+        # Link.fail is itself idempotent and notifies the network per
+        # transition; the network coalesces same-instant notifications
+        # into a single convergence event.
+        for link in self.attached_links:
+            link.fail()
+        self._on_fail()
+
+    def restore(self) -> None:
+        """Bring the node back up, restoring attached cables whose other
+        endpoint is up. Idempotent like :meth:`fail`."""
+        if self.up:
+            return
+        self.up = True
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("failures.node_up").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("failure"):
+                ev.emit("failure", "node_up", t=self.sim.now,
+                        node=self.name)
+        for link in self.attached_links:
+            peer = link.dst if link.src is self else link.src
+            if peer is None or getattr(peer, "up", True):
+                link.restore()
+
+    def _on_fail(self) -> None:
+        """Subclass hook fired after the node went down (Host tears down
+        its transport endpoints here)."""

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from dataclasses import dataclass
 
+from repro.sim.node import FailureDomain
 from repro.sim.packet import DATA, Packet, make_cnp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,7 +64,7 @@ def flow_hash(src: int, dst: int, sport: int, dport: int, salt: int) -> int:
     return mix64(key ^ mix64(salt))
 
 
-class Switch:
+class Switch(FailureDomain):
     """Forwards by destination host id over equal-cost ports (ECMP or spraying)."""
     __slots__ = (
         "sim",
@@ -81,6 +82,9 @@ class Switch:
         "_qcn_last_ps",
         "cnps_sent",
         "no_route_drops",
+        "up",
+        "attached_links",
+        "down_node_drops",
     )
 
     MODES = ("ecmp", "rps")
@@ -111,6 +115,7 @@ class Switch:
         self._qcn_last_ps: Dict[int, int] = {}  # flow id -> last CNP time
         self.cnps_sent = 0
         self.no_route_drops = 0   # known dst, empty equal-cost set
+        self._init_failure_domain()
         obs = sim.obs
         if obs is not None:
             self._register_metrics(obs.metrics)
@@ -124,6 +129,8 @@ class Switch:
         registry.gauge(f"{base}.multipath_pkts", lambda: self.multipath_pkts)
         registry.gauge(f"{base}.cnps_sent", lambda: self.cnps_sent)
         registry.gauge(f"{base}.no_route_drops", lambda: self.no_route_drops)
+        registry.gauge(f"{base}.down_node_drops", lambda: self.down_node_drops)
+        registry.gauge(f"{base}.up", lambda: self.up)
 
     def set_mode(self, mode: str) -> None:
         if mode not in self.MODES:
@@ -131,6 +138,12 @@ class Switch:
         self.mode = mode
 
     def receive(self, pkt: Packet) -> None:
+        if not self.up:
+            # A crashed switch neither forwards nor buffers. Reachable
+            # only when a cable into the dead node is up (e.g. restored
+            # by an independent link-level scenario).
+            self._count_down_drop()
+            return
         self.rx_pkts += 1
         pkt.hops += 1
         choices = self.nexthops.get(pkt.dst)

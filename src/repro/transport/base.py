@@ -38,6 +38,40 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_MSS = 4096  # paper: MTU 4096 B
 HEADER_BYTES = 64   # approximate header overhead carried on the wire
 
+# Retransmission-timer defaults, promoted to named constants so abort
+# policies and tests can tighten them per flow instead of relying on
+# literals buried in the Sender signature.
+DEFAULT_MIN_RTO_PS = 50_000_000        # 50 us floor
+DEFAULT_MAX_RTO_PS = 10 * MS           # inter-DC-scale backoff ceiling
+DEFAULT_RTO_BACKOFF_MAX = 16           # max exponential backoff factor
+DEFAULT_RECEIVER_IDLE_TIMEOUT_PS = 200 * MS
+
+
+@dataclass(frozen=True)
+class AbortPolicy:
+    """When a sender gives up on a flow instead of retransmitting forever.
+
+    ``max_consecutive_rtos`` aborts after that many back-to-back
+    retransmission timeouts with no ACK progress (a blackholed path);
+    ``deadline_ps`` aborts a flow still unfinished that long after it
+    started (wall-clock SLO). Either may be None; at least one must be
+    set. The default transport behavior — no policy — never aborts,
+    which keeps every historical experiment byte-identical.
+    """
+
+    max_consecutive_rtos: Optional[int] = None
+    deadline_ps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_rtos is None and self.deadline_ps is None:
+            raise ValueError("abort policy must set at least one limit")
+        if self.max_consecutive_rtos is not None and self.max_consecutive_rtos < 1:
+            raise ValueError(
+                f"max_consecutive_rtos must be >= 1, got {self.max_consecutive_rtos}"
+            )
+        if self.deadline_ps is not None and self.deadline_ps <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline_ps}")
+
 
 class CongestionControl:
     """Strategy interface. Implementations mutate ``sender.cwnd`` (bytes)
@@ -105,6 +139,8 @@ class SenderStats:
     dup_acks: int = 0
     nacks_received: int = 0
     is_inter_dc: bool = False
+    aborted_ps: Optional[int] = None
+    abort_reason: Optional[str] = None
 
     @property
     def fct_ps(self) -> Optional[int]:
@@ -116,22 +152,56 @@ class SenderStats:
     def done(self) -> bool:
         return self.finish_ps is not None
 
+    @property
+    def aborted(self) -> bool:
+        return self.aborted_ps is not None
+
+    @property
+    def terminal(self) -> bool:
+        """Completed or aborted — the flow will never act again."""
+        return self.done or self.aborted
+
 
 class Receiver:
     """Plain receiver: ACK every data packet. Subclassed by UnoRC to add
-    erasure-coding block bookkeeping and NACKs."""
+    erasure-coding block bookkeeping and NACKs.
 
-    def __init__(self, sim: Simulator, host: Host, flow_id: int):
+    Receivers idle-time-out: ``idle_timeout_ps`` (None disables) after
+    the last data packet, a receiver whose sender went silent without a
+    terminal transition — e.g. crashed mid-flow — unregisters itself, so
+    a dead peer cannot leak endpoint registrations forever. The timer is
+    armed lazily on the *first* data packet (a receiver is created at
+    flow-launch time, possibly long before its flow starts) and follows
+    the same lazy re-check pattern as the sender's RTO timer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        idle_timeout_ps: Optional[int] = DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
+    ):
         self.sim = sim
         self.host = host
         self.flow_id = flow_id
         self.received_seqs: set[int] = set()
         self.rx_data_pkts = 0
+        self.idle_timeout_ps = idle_timeout_ps
+        self.idled_out = False
+        self._last_rx_ps = 0
+        self._idle_handle: Optional[EventHandle] = None
+        self._closed = False
 
     def on_packet(self, pkt: Packet) -> None:
         if pkt.kind != DATA:
             return
         self.rx_data_pkts += 1
+        self._last_rx_ps = self.sim.now
+        if self.idle_timeout_ps is not None and self._idle_handle is None:
+            self._idle_handle = self.sim.after(
+                self.idle_timeout_ps, self._idle_check
+            )
         self.received_seqs.add(pkt.seq)
         self.handle_data(pkt)
 
@@ -141,6 +211,35 @@ class Receiver:
     def send_ack(self, pkt: Packet) -> None:
         ack = make_ack(pkt, self.sim.now)
         self.host.send(ack)
+
+    def _idle_check(self) -> None:
+        self._idle_handle = None
+        if self._closed:
+            return
+        idle = self.sim.now - self._last_rx_ps
+        if idle < self.idle_timeout_ps:
+            self._idle_handle = self.sim.after(
+                self.idle_timeout_ps - idle, self._idle_check
+            )
+            return
+        self.idled_out = True
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("transport.receivers_idled_out").inc()
+            ev = obs.events
+            if ev is not None and ev.wants("flow"):
+                ev.emit("flow", "receiver_idle_timeout", t=self.sim.now,
+                        flow=self.flow_id, idle_ps=idle)
+        # unregister() closes us, cancelling any remaining timers.
+        self.host.unregister(self.flow_id)
+
+    def close(self) -> None:
+        """Cancel private timers; called by Host.unregister. Idempotent.
+        Subclasses with extra timers (UnoRC blocks) extend this."""
+        self._closed = True
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
 
 
 class Sender:
@@ -162,9 +261,10 @@ class Sender:
         path: Optional[PathSelector] = None,
         on_complete: Optional[Callable[["Sender"], None]] = None,
         rto_multiplier: float = 3.0,
-        min_rto_ps: int = 50_000_000,  # 50 us floor
-        max_rto_ps: int = 10 * MS,     # inter-DC-scale backoff ceiling
-        rto_backoff_max: int = 16,
+        min_rto_ps: int = DEFAULT_MIN_RTO_PS,
+        max_rto_ps: int = DEFAULT_MAX_RTO_PS,
+        rto_backoff_max: int = DEFAULT_RTO_BACKOFF_MAX,
+        abort: Optional[AbortPolicy] = None,
         seed: int = 0,
         is_inter_dc: bool = False,
         start_immediately: bool = False,
@@ -224,6 +324,13 @@ class Sender:
         # blackhole outage from becoming a retransmit storm.
         self._rto_backoff = 1
 
+        # Connection lifecycle: optional abort policy moving the flow to
+        # a terminal 'aborted' state instead of retransmitting forever.
+        self.abort_policy = abort
+        self._consecutive_timeouts = 0
+        self._deadline_handle: Optional[EventHandle] = None
+        self._aborted = False
+
         self.stats = SenderStats(
             flow_id=flow_id,
             size_bytes=size_bytes,
@@ -242,8 +349,9 @@ class Sender:
             None if obs is None else {
                 name: obs.metrics.counter(f"transport.{name}")
                 for name in (
-                    "flows_started", "flows_completed", "retransmissions",
-                    "timeouts", "dup_acks", "nacks_received",
+                    "flows_started", "flows_completed", "flows_aborted",
+                    "retransmissions", "timeouts", "dup_acks",
+                    "nacks_received",
                 )
             }
         )
@@ -266,11 +374,69 @@ class Sender:
         self.cc.on_init(self)
         self.path.on_init(self)
         self._arm_rto()
+        pol = self.abort_policy
+        if pol is not None and pol.deadline_ps is not None:
+            self._deadline_handle = self.sim.after(
+                pol.deadline_ps, self._deadline_expired
+            )
         self._maybe_send()
 
     @property
     def done(self) -> bool:
         return self._done
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    @property
+    def terminal(self) -> bool:
+        """Completed or aborted: timers cancelled, endpoints unregistered."""
+        return self._done or self._aborted
+
+    def _deadline_expired(self) -> None:
+        self._deadline_handle = None
+        if not self.terminal:
+            self.abort("deadline")
+
+    def abort(self, reason: str) -> None:
+        """Give up on the flow: terminal state, mirror of completion.
+
+        Cancels every private timer, unregisters both host endpoints
+        (closing the receiver), records the reason and time in ``stats``,
+        and fires ``on_complete`` — callers tracking outstanding flows
+        see aborts as terminal transitions, not leaks. Idempotent; a
+        no-op on a flow that already completed.
+        """
+        if self.terminal:
+            return
+        self._aborted = True
+        self.stats.aborted_ps = self.sim.now
+        self.stats.abort_reason = reason
+        if self._counters is not None:
+            self._counters["flows_aborted"].inc()
+        ev = self._events
+        if ev is not None and ev.wants("flow"):
+            ev.emit("flow", "abort", t=self.sim.now, flow=self.flow_id,
+                    reason=reason, acked=len(self.acked_seqs),
+                    total=self.total_data_pkts)
+        self._cancel_timers()
+        self.cc.on_done(self)
+        self.src.unregister(self.flow_id)
+        self.dst.unregister(self.flow_id)
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def _cancel_timers(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+        if self._pace_handle is not None:
+            self._pace_handle.cancel()
+            self._pace_handle = None
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
+            self._deadline_handle = None
 
     @property
     def rto_ps(self) -> int:
@@ -423,7 +589,7 @@ class Sender:
     # ------------------------------------------------------------------
 
     def on_packet(self, pkt: Packet) -> None:
-        if self._done:
+        if self.terminal:
             return
         if pkt.kind == ACK:
             self._on_ack(pkt)
@@ -442,6 +608,7 @@ class Sender:
         if seq < 0:
             # Control ACK (e.g. UnoRC block-complete); no per-seq state.
             self._rto_backoff = 1
+            self._consecutive_timeouts = 0
             self._on_control_ack(pkt)
             if not self._check_done():
                 self._maybe_send()
@@ -458,6 +625,7 @@ class Sender:
         sent = self.outstanding.pop(seq)
         self.acked_seqs.add(seq)
         self._rto_backoff = 1  # ACK progress ends the backoff episode
+        self._consecutive_timeouts = 0
         payload = sent.payload
         if seq in self._lost_seqs:
             # Declared lost but the original copy arrived after all; its
@@ -508,7 +676,7 @@ class Sender:
 
     def _rto_check(self) -> None:
         self._rto_handle = None
-        if self._done:
+        if self.terminal:
             return
         if not self.outstanding:
             self._arm_rto()
@@ -520,12 +688,23 @@ class Sender:
             self._rto_handle = self.sim.after(rto - age, self._rto_check)
             return
         self._handle_timeout()
+        if self.terminal:
+            return  # the timeout crossed the abort threshold
         self._arm_rto()
 
     def _handle_timeout(self) -> None:
         self.stats.timeouts += 1
         if self._counters is not None:
             self._counters["timeouts"].inc()
+        self._consecutive_timeouts += 1
+        pol = self.abort_policy
+        if (
+            pol is not None
+            and pol.max_consecutive_rtos is not None
+            and self._consecutive_timeouts >= pol.max_consecutive_rtos
+        ):
+            self.abort("max_consecutive_rtos")
+            return
         # Re-queue every expired unacked packet exactly once.
         cutoff = self.sim.now - self.rto_ps
         for seq, pkt in list(self.outstanding.items()):
@@ -547,7 +726,7 @@ class Sender:
     def queue_retransmit(self, seq: int) -> None:
         """Declare ``seq`` lost and schedule its retransmission (RTO and
         UnoRC NACKs). The lost copy's bytes leave the inflight account."""
-        if seq in self.acked_seqs or self._done:
+        if seq in self.acked_seqs or self.terminal:
             return
         if seq not in self._retx_set:
             self._retx_queue.append(seq)
@@ -567,7 +746,7 @@ class Sender:
         return all(s in self.acked_seqs for s in range(self.total_data_pkts))
 
     def _check_done(self) -> bool:
-        if self._done or not self._all_delivered():
+        if self.terminal or not self._all_delivered():
             return False
         self._done = True
         self.stats.finish_ps = self.sim.now
@@ -578,12 +757,7 @@ class Sender:
             ev.emit("flow", "done", t=self.sim.now, flow=self.flow_id,
                     fct=self.stats.fct_ps,
                     retx=self.stats.retransmissions)
-        if self._rto_handle is not None:
-            self._rto_handle.cancel()
-            self._rto_handle = None
-        if self._pace_handle is not None:
-            self._pace_handle.cancel()
-            self._pace_handle = None
+        self._cancel_timers()
         self.cc.on_done(self)
         self.src.unregister(self.flow_id)
         self.dst.unregister(self.flow_id)

@@ -217,7 +217,8 @@ class TestScenarios:
             scenario_from_dict({"kind": "meteor_strike"})
         assert set(SCENARIO_KINDS) == {
             "link_flap", "fiber_cut", "grey_failure", "loss_episode",
-            "partition_window"}
+            "partition_window", "switch_crash", "tor_reboot", "host_crash",
+            "nic_flap"}
 
     def test_flap_validation(self):
         with pytest.raises(ValueError):

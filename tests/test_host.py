@@ -44,6 +44,35 @@ class TestRegistry:
         host.receive(Packet(DATA, 1, 5, 0, seq=0, size=100))
         assert host.orphan_pkts == 1
 
+    def test_late_retransmissions_after_unregister_are_orphans(self):
+        # A flow completes and unregisters; duplicate retransmissions
+        # already in flight keep arriving. Each is counted, none is
+        # dispatched, and other flows are undisturbed.
+        host = Host(Simulator(), 0, "h")
+        done_ep, live_ep = Endpoint(), Endpoint()
+        host.register(1, done_ep)
+        host.register(2, live_ep)
+        host.unregister(1)
+        for seq in range(3):
+            host.receive(Packet(DATA, 1, 5, 0, seq=seq, size=100))
+        host.receive(Packet(DATA, 2, 5, 0, seq=0, size=100))
+        assert host.orphan_pkts == 3
+        assert done_ep.got == []
+        assert len(live_ep.got) == 1
+        assert host.rx_pkts == 4  # orphans still count as received
+
+    def test_unregister_closes_endpoint(self):
+        closed = []
+
+        class Closeable(Endpoint):
+            def close(self):
+                closed.append(True)
+
+        host = Host(Simulator(), 0, "h")
+        host.register(1, Closeable())
+        host.unregister(1)
+        assert closed == [True]
+
 
 class TestUplink:
     def test_uplink_requires_exactly_one_port(self):

@@ -3,9 +3,10 @@ import pytest
 from repro.analysis.fct import ideal_fct_ps
 from repro.sim.engine import Simulator
 from repro.sim.failures import BernoulliLoss
-from repro.sim.units import MIB, US
+from repro.sim.units import MIB, MS, US
 from repro.topology.simple import dumbbell, incast_star
 from repro.transport.base import (
+    AbortPolicy,
     CongestionControl,
     FixedEntropy,
     Sender,
@@ -242,3 +243,155 @@ class TestRTOBackoff:
         assert fixed.stats.timeouts > 30          # the storm (~1 per RTO)
         assert backoff.stats.timeouts <= 10       # the fix (~log2 of that)
         assert backoff.stats.retransmissions < fixed.stats.retransmissions / 4
+
+
+class TestAbortPolicy:
+    def _blackholed(self, abort, fail_at_ps=1 * US):
+        """A flow whose host uplink fails shortly after start."""
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        bl = topo.net.link_between(topo.senders[0], topo.net.node("sw"))
+        done = []
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 64 * 1024, base_rtt_ps=14 * US,
+            abort=abort, on_complete=done.append,
+        )
+        sim.at(fail_at_ps, bl.fail)
+        return sim, bl, sender, done
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AbortPolicy()
+        with pytest.raises(ValueError):
+            AbortPolicy(max_consecutive_rtos=0)
+        with pytest.raises(ValueError):
+            AbortPolicy(deadline_ps=0)
+        assert AbortPolicy(max_consecutive_rtos=5).deadline_ps is None
+        assert AbortPolicy(deadline_ps=1 * MS).max_consecutive_rtos is None
+
+    def test_default_never_aborts(self):
+        sim, bl, sender, done = self._blackholed(abort=None)
+        sim.run(until=2_000 * MS)
+        assert not sender.done and not sender.aborted
+        assert sender._rto_handle is not None  # still trying
+
+    def test_max_consecutive_rtos_aborts(self):
+        sim, bl, sender, done = self._blackholed(
+            AbortPolicy(max_consecutive_rtos=5))
+        sim.run(until=2_000 * MS)
+        assert sender.aborted and sender.terminal and not sender.done
+        assert sender.stats.abort_reason == "max_consecutive_rtos"
+        assert sender.stats.timeouts == 5
+        assert sender.stats.fct_ps is None
+
+    def test_deadline_aborts(self):
+        sim, bl, sender, done = self._blackholed(AbortPolicy(deadline_ps=3 * MS))
+        sim.run(until=2_000 * MS)
+        assert sender.aborted
+        assert sender.stats.abort_reason == "deadline"
+        # Aborted exactly at start + deadline.
+        assert sender.stats.aborted_ps == sender.stats.start_ps + 3 * MS
+
+    def test_abort_cancels_timers_and_unregisters(self):
+        sim, bl, sender, done = self._blackholed(
+            AbortPolicy(max_consecutive_rtos=3, deadline_ps=100 * MS))
+        sim.run(until=2_000 * MS)
+        assert sender.aborted
+        assert sender._rto_handle is None
+        assert sender._pace_handle is None
+        assert sender._deadline_handle is None
+        assert sender.flow_id not in sender.src.endpoints
+        assert sender.flow_id not in sender.dst.endpoints
+        assert done == [sender]  # abort is a terminal on_complete event
+
+    def test_healthy_flow_unaffected_by_policy(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 64 * 1024, base_rtt_ps=14 * US,
+            abort=AbortPolicy(max_consecutive_rtos=3, deadline_ps=100 * MS),
+        )
+        sim.run(until=2_000 * MS)
+        assert sender.done and not sender.aborted
+        assert sender._deadline_handle is None  # cancelled on completion
+
+    def test_ack_progress_resets_consecutive_count(self):
+        # Outage ends before the 4th of 5 allowed RTOs, so the 4th
+        # retransmission lands and the ACK resets the streak: the flow
+        # must complete, not abort.
+        sim, bl, sender, done = self._blackholed(
+            AbortPolicy(max_consecutive_rtos=5))
+        sim.at(700 * US, bl.restore)
+        sim.run(until=2_000 * MS)
+        assert sender.done and not sender.aborted
+        assert sender._consecutive_timeouts == 0
+
+
+class TestReceiverIdleTimeout:
+    def test_receiver_idles_out_when_peer_goes_silent(self):
+        # A sender with no abort policy retries forever into a dead
+        # uplink; the receiver hears nothing after the first packets and
+        # must unregister itself rather than leak its endpoint.
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        bl = topo.net.link_between(topo.senders[0], topo.net.node("sw"))
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 256 * 1024, base_rtt_ps=14 * US,
+        )
+        receiver = topo.receivers[0].endpoints[sender.flow_id]
+        sim.at(5 * US, bl.fail)  # mid-flow: permanent blackhole, no repair
+        sim.run(until=2_000 * MS)
+        assert receiver.idled_out
+        assert sender.flow_id not in topo.receivers[0].endpoints
+        assert receiver._idle_handle is None
+        assert not sender.done and not sender.aborted  # still retrying
+
+    def test_sender_host_crash_tears_down_both_endpoints(self):
+        # Crashing the sender's host aborts the sender, which
+        # gracefully unregisters the receiver too — no idle timeout
+        # needed, no endpoint left on either host.
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 256 * 1024, base_rtt_ps=14 * US,
+        )
+        receiver = topo.receivers[0].endpoints[sender.flow_id]
+        sim.at(5 * US, topo.senders[0].fail)
+        sim.run(until=2_000 * MS)
+        assert sender.aborted
+        assert sender.stats.abort_reason == "host_failed"
+        assert not receiver.idled_out  # closed by the abort, not idleness
+        assert not topo.senders[0].endpoints
+        assert not topo.receivers[0].endpoints
+
+    def test_completed_flow_never_idles_out(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 64 * 1024, base_rtt_ps=14 * US,
+        )
+        receiver = topo.receivers[0].endpoints[sender.flow_id]
+        sim.run(until=2_000 * MS)
+        assert sender.done
+        assert not receiver.idled_out
+        assert sim.peek_time() is None  # no timer left ticking
+
+    def test_idle_timeout_disabled_with_none(self):
+        sim = Simulator()
+        topo = incast_star(sim, 1, prop_ps=1 * US)
+        bl = topo.net.link_between(topo.senders[0], topo.net.node("sw"))
+        sender = start_flow(
+            sim, topo.net, FixedWindow(1 << 20), topo.senders[0],
+            topo.receivers[0], 256 * 1024, base_rtt_ps=14 * US,
+            receiver_kwargs={"idle_timeout_ps": None},
+        )
+        receiver = topo.receivers[0].endpoints[sender.flow_id]
+        sim.at(5 * US, bl.fail)  # silence, but the timeout is off
+        sim.run(until=2_000 * MS)
+        assert not receiver.idled_out
+        assert sender.flow_id in topo.receivers[0].endpoints

@@ -1,0 +1,5 @@
+"""Performance benchmark scenarios for the simulator hot path.
+
+Driven by ``tools/bench.py``; see :mod:`benchmarks.perf.scenarios` for
+the scenario definitions and the JSON record each one produces.
+"""

@@ -108,8 +108,29 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Callable[[], Any]] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._pending: List[Callable[["MetricsRegistry"], None]] = []
 
     # -- registration ----------------------------------------------------
+
+    def defer(self, register: Callable[["MetricsRegistry"], None]) -> None:
+        """Queue a registration callback to run lazily, at the first
+        read (snapshot/value/total/unique_name).
+
+        Gauge names are f-strings over instance names; building a
+        fat-tree registers thousands of them, all pure construction-time
+        overhead when the run never reads its metrics. Components pass
+        their ``_register_metrics`` bound method here instead of calling
+        it eagerly. The trade-off: a duplicate-name error surfaces at
+        the first read instead of at construction."""
+        self._pending.append(register)
+
+    def _materialize(self) -> None:
+        if not self._pending:
+            return
+        # Swap first: a registration callback could itself defer more.
+        pending, self._pending = self._pending, []
+        for register in pending:
+            register(self)
 
     def counter(self, name: str) -> Counter:
         """Get-or-create the counter ``name`` (shared across call sites)."""
@@ -136,6 +157,7 @@ class MetricsRegistry:
         """A deterministic fresh dotted name under ``prefix`` (``prefix.0``,
         ``prefix.1``, ...) for instruments with no natural identity, such
         as rate monitors."""
+        self._materialize()
         i = 0
         while True:
             name = f"{prefix}.{i}"
@@ -157,6 +179,7 @@ class MetricsRegistry:
 
     def value(self, name: str) -> Any:
         """Current value of one counter or gauge by exact name."""
+        self._materialize()
         if name in self._counters:
             return self._counters[name].value
         if name in self._gauges:
@@ -165,6 +188,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """Everything as one nested dict: dotted names become nesting."""
+        self._materialize()
         out: Dict[str, Any] = {}
         for name, counter in self._counters.items():
             _nest(out, name, counter.value)

@@ -492,7 +492,7 @@ def check_invariants(
             # sits in the FIFO or reached the link.
             sent = port.enqueued_pkts - len(port._fifo)
             accounted = (link.delivered_pkts + link.lost_pkts
-                         + link.failed_drops)
+                         + link.failed_drops + link.inflight_pkts)
             if sent != accounted:
                 violations.append({
                     "invariant": "packet_conservation",
@@ -561,11 +561,14 @@ def check_invariants(
                 "node": sender.src.name,
             })
 
-    next_event = sim.peek_time()
-    if next_event is not None:
+    # live_pending ignores cancelled tombstones, so leftover dead timers
+    # don't mask (or fake) a stuck flow; peek_time() then names the next
+    # genuinely live event.
+    if sim.live_pending:
         violations.append({
             "invariant": "event_loop_not_drained",
-            "next_event_ps": next_event,
+            "live_pending": sim.live_pending,
+            "next_event_ps": sim.peek_time(),
         })
 
     obs = sim.obs

@@ -5,6 +5,22 @@ entries where ``seq`` is a monotonically increasing tie-breaker so that
 events scheduled for the same picosecond fire in scheduling order. Handles
 support O(1) cancellation (the loop skips cancelled entries on pop), which
 is how retransmission timers and block timers are rescheduled cheaply.
+
+Two mechanisms keep the heap small on the packet hot path:
+
+- **Coalesced event streams** (:meth:`Simulator.reserve_seq` /
+  :meth:`Simulator.at_seq` / :meth:`Simulator.rearm`): a component whose
+  events are inherently FIFO — link deliveries at constant propagation
+  delay, back-to-back port serializations — keeps ONE armed heap entry
+  and re-arms it for the next head instead of scheduling one event per
+  packet. Reserving the tie-break ``seq`` at the instant the event
+  *would* have been scheduled makes the coalesced stream fire in exactly
+  the per-event order: the heap orders by ``(time, seq)`` and does not
+  require seqs to be pushed monotonically.
+- **Tombstone compaction**: cancelled handles stay in the heap as
+  tombstones (cancellation is O(1)); when tombstones reach half the heap
+  the next schedule call rebuilds it in place, so pathological timer
+  churn cannot degrade every subsequent heap operation.
 """
 
 from __future__ import annotations
@@ -17,23 +33,44 @@ from repro import obs as _obs
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
+# Sentinel bound for "run forever": larger than any representable sim
+# time, so the lean loop compares ints against one local instead of
+# testing ``until is not None`` per event.
+_NO_LIMIT = 1 << 200
+
 
 class EventHandle:
-    """A scheduled callback; ``cancel()`` prevents it from firing."""
+    """A scheduled callback; ``cancel()`` prevents it from firing.
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    Only cancel handles that are still armed (scheduled and not yet
+    fired): the owning simulator counts cancellations to size its
+    tombstone compaction, and cancelling an already-fired handle skews
+    that count until the next compaction resets it (harmless but
+    wasteful). Components in this repo null out their handle references
+    when a timer fires, which makes double-cancel impossible by
+    construction; ``cancel()`` itself is idempotent regardless.
+    """
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: tuple):
+    __slots__ = ("time", "fn", "args", "cancelled", "sim")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled timers don't pin packets/flows alive.
         self.fn = _noop
         self.args = ()
+        sim = self.sim
+        if sim is not None:
+            sim._n_cancelled += 1
 
 
 def _noop(*_args: Any) -> None:
@@ -43,11 +80,19 @@ def _noop(*_args: Any) -> None:
 class Simulator:
     """The event loop. ``now`` is the current time in integer picoseconds."""
 
+    # Compact the heap when tombstones pass this count AND make up at
+    # least half of it. The absolute floor keeps tiny heaps (a handful
+    # of timers, most of them dead between bursts) from compacting on
+    # every schedule call for no measurable gain.
+    COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._n_executed: int = 0
+        self._n_cancelled: int = 0  # cancelled entries still in the heap
+        self.compactions: int = 0   # tombstone compaction passes run
         # Telemetry bundle (repro.obs). None by default: every component
         # caches this at construction, so the disabled path costs one
         # ``is None`` test. A TelemetryContext in force at construction
@@ -65,16 +110,75 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: t={time} < now={self.now}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
+        if (self._n_cancelled > self.COMPACT_MIN_TOMBSTONES
+                and self._n_cancelled * 2 >= len(self._heap)):
+            self._compact()
         return handle
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.at(self.now + delay, fn, *args)
+        # Inlined body of at(): this is the hottest scheduling entry
+        # point (one call per packet per hop), and now + delay can never
+        # be in the past.
+        time = self.now + delay
+        handle = EventHandle(time, fn, args, self)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        if (self._n_cancelled > self.COMPACT_MIN_TOMBSTONES
+                and self._n_cancelled * 2 >= len(self._heap)):
+            self._compact()
+        return handle
+
+    def reserve_seq(self) -> int:
+        """Claim the tie-break sequence the next scheduled event would
+        get. Coalesced event streams (link delivery deques) reserve a seq
+        per deferred event at the instant it *would* have been scheduled,
+        then arm the real heap entry later with :meth:`at_seq` — firing
+        order stays identical to the one-event-per-packet schedule."""
+        self._seq += 1
+        return self._seq
+
+    def at_seq(self, time: int, seq: int, fn: Callable[..., Any],
+               *args: Any) -> EventHandle:
+        """Schedule with a previously :meth:`reserve_seq`-reserved
+        tie-breaker. ``time`` must be >= now, as with :meth:`at`."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: t={time} < now={self.now}"
+            )
+        handle = EventHandle(time, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
+
+    def rearm(self, handle: EventHandle, time: int,
+              seq: Optional[int] = None) -> None:
+        """Re-push a handle that has already fired (it must not be in the
+        heap, and must not be cancelled). This is the allocation-free way
+        for a component with one perpetual event — a port's serializer,
+        a link's delivery drain — to schedule its next firing: no new
+        EventHandle, just one heap entry. With ``seq`` None a fresh
+        tie-breaker is drawn, exactly as ``at(time, ...)`` would."""
+        if handle.cancelled:
+            raise ValueError("cannot rearm a cancelled handle")
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
+        handle.time = time
+        heapq.heappush(self._heap, (time, seq, handle))
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify, in place: ``run()`` holds a
+        local reference to the heap list, so its identity must survive."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._n_cancelled = 0
+        self.compactions += 1
 
     # -- execution -------------------------------------------------------
 
@@ -96,17 +200,26 @@ class Simulator:
             return self._run_profiled(until, max_events)
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
+        limit = _NO_LIMIT if until is None else until
+        budget = -1 if max_events is None else max_events
+        # Pop-first: popping returns the entry the peek would read, so
+        # the loop touches the heap once per event; the rare entry past
+        # the limit (at most one per run() call) is pushed back.
         while heap:
-            time, _, handle = heap[0]
-            if until is not None and time > until:
+            entry = pop(heap)
+            time = entry[0]
+            if time > limit:
+                heapq.heappush(heap, entry)
                 break
-            heapq.heappop(heap)
+            handle = entry[2]
             if handle.cancelled:
+                self._n_cancelled -= 1
                 continue
             self.now = time
             handle.fn(*handle.args)
             executed += 1
-            if max_events is not None and executed >= max_events:
+            if executed == budget:
                 break
         if until is not None and self.now < until and (
             not heap or heap[0][0] > until
@@ -126,13 +239,19 @@ class Simulator:
         clock = profiler.clock
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
+        limit = _NO_LIMIT if until is None else until
+        budget = -1 if max_events is None else max_events
         t_loop = clock()
         while heap:
-            time, _, handle = heap[0]
-            if until is not None and time > until:
+            entry = pop(heap)
+            time = entry[0]
+            if time > limit:
+                heapq.heappush(heap, entry)
                 break
-            heapq.heappop(heap)
+            handle = entry[2]
             if handle.cancelled:
+                self._n_cancelled -= 1
                 continue
             self.now = time
             fn = handle.fn
@@ -140,7 +259,7 @@ class Simulator:
             fn(*handle.args)
             profiler.account(fn, clock() - t0)
             executed += 1
-            if max_events is not None and executed >= max_events:
+            if executed == budget:
                 break
         if until is not None and self.now < until and (
             not heap or heap[0][0] > until
@@ -156,6 +275,7 @@ class Simulator:
         while heap:
             time, _, handle = heapq.heappop(heap)
             if handle.cancelled:
+                self._n_cancelled -= 1
                 continue
             self.now = time
             handle.fn(*handle.args)
@@ -165,8 +285,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of heap entries (including cancelled tombstones)."""
+        """Raw heap length — live events AND cancelled tombstones still
+        awaiting their pop (or a compaction pass). For "is there anything
+        left to run" questions use :attr:`live_pending` or
+        :meth:`peek_time`, which ignore tombstones."""
         return len(self._heap)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of heap entries that will actually fire (cancelled
+        tombstones excluded)."""
+        n = len(self._heap) - self._n_cancelled
+        return n if n > 0 else 0
 
     @property
     def events_executed(self) -> int:
@@ -177,4 +307,5 @@ class Simulator:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._n_cancelled -= 1
         return heap[0][0] if heap else None

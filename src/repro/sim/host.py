@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Protocol, Tuple
 
 from repro.sim.node import FailureDomain
-from repro.sim.packet import Packet
+from repro.sim.packet import DATA, Packet, default_pool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -44,6 +44,8 @@ class Host(FailureDomain):
         "up",
         "attached_links",
         "down_node_drops",
+        "pool",
+        "_uplink",
     )
 
     def __init__(self, sim: "Simulator", node_id: int, name: str, dc: int = 0):
@@ -55,10 +57,15 @@ class Host(FailureDomain):
         self.endpoints: Dict[int, Endpoint] = {}
         self.rx_pkts = 0
         self.orphan_pkts = 0
+        # Opt-in packet free-list (REPRO_PACKET_POOL=1|poison, or
+        # enable_packet_pool()); None — the default — allocates fresh
+        # Packets and lets the GC reclaim them.
+        self.pool = default_pool()
+        self._uplink: "Port" = None
         self._init_failure_domain()
         obs = sim.obs
         if obs is not None:
-            self._register_metrics(obs.metrics)
+            obs.metrics.defer(self._register_metrics)
 
     def _register_metrics(self, registry) -> None:
         from repro.obs.metrics import metric_key
@@ -110,17 +117,32 @@ class Host(FailureDomain):
 
     # -- datapath ----------------------------------------------------------
 
+    def enable_packet_pool(self, poison: bool = False) -> "PacketPool":
+        """Attach a packet free-list to this host (overrides the
+        process-wide REPRO_PACKET_POOL default)."""
+        from repro.sim.packet import PacketPool
+
+        self.pool = PacketPool(poison=poison)
+        return self.pool
+
     @property
     def uplink(self) -> "Port":
-        """The host's single NIC egress port (asserts exactly one)."""
+        """The host's single NIC egress port (asserts exactly one).
+
+        Cached on first access — topology wiring is complete before the
+        first packet moves, and ports are never re-wired afterwards."""
+        cached = self._uplink
+        if cached is not None:
+            return cached
         if len(self.ports) != 1:
             raise RuntimeError(
                 f"host {self.name} has {len(self.ports)} ports; expected 1"
             )
-        return next(iter(self.ports.values()))
+        self._uplink = next(iter(self.ports.values()))
+        return self._uplink
 
     def send(self, pkt: Packet) -> None:
-        self.uplink.enqueue(pkt)
+        (self._uplink or self.uplink).enqueue(pkt)
 
     def receive(self, pkt: Packet) -> None:
         if not self.up:
@@ -130,8 +152,16 @@ class Host(FailureDomain):
         endpoint = self.endpoints.get(pkt.flow_id)
         if endpoint is None:
             self.orphan_pkts += 1
-            return
-        endpoint.on_packet(pkt)
+        else:
+            endpoint.on_packet(pkt)
+        # Control packets (ACK/NACK/CNP) are consumed synchronously by
+        # the endpoint and never aliased elsewhere, so they are safe to
+        # recycle the moment dispatch returns. DATA packets are recycled
+        # at the *sender* once the echoing ACK proves the copy was
+        # consumed (see transport.base.Sender._on_ack).
+        pool = self.pool
+        if pool is not None and pkt.kind != DATA:
+            pool.release(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Host {self.name} dc={self.dc} flows={len(self.endpoints)}>"

@@ -5,10 +5,25 @@ and delivers them to the peer node after the propagation delay. Links can
 be administratively failed (dropping everything in flight and arriving,
 as a fiber cut would) and can carry a stochastic loss model such as the
 Gilbert-Elliott process used to reproduce the paper's Table 1.
+
+Delivery is **coalesced**: propagation delay is constant and ``sim.now``
+is monotonic, so deliveries on one link are inherently FIFO. Instead of
+one heap event per in-flight packet, the link keeps an internal deque of
+``(deliver_ps, seq, pkt)`` and ONE armed engine event that drains every
+due entry and re-arms for the next head. ``seq`` is reserved from the
+engine at transmit time (:meth:`Simulator.reserve_seq`), so the drain
+event carries exactly the ``(time, seq)`` key the per-packet schedule
+would have used — firing order is provably identical (the heap orders by
+that key and nothing else). On a high-BDP inter-DC link this replaces
+hundreds of heap entries with one. Set the module flag
+``COALESCED_DELIVERY = False`` before constructing links to get the
+reference one-event-per-packet path (the determinism tests diff the two).
 """
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.packet import Packet
@@ -18,6 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 # A loss model maps (packet, now_ps) -> True when the packet is lost.
 LossModel = Callable[[Packet, int], bool]
+
+# Reference-path escape hatch, read once per Link at construction.
+COALESCED_DELIVERY = True
 
 
 class Link:
@@ -38,6 +56,10 @@ class Link:
         "on_state_change",
         "_obs",
         "_events",
+        "_inflight",
+        "_drain_handle",
+        "_drain_armed",
+        "_coalesce",
     )
 
     def __init__(
@@ -67,10 +89,18 @@ class Link:
         self.lost_pkts = 0
         self.failed_drops = 0
         self.failures = 0  # administrative fail() transitions
+        # Packets in flight: (deliver_ps, reserved seq, pkt), FIFO by
+        # construction. _drain_handle is one perpetual EventHandle,
+        # allocated on first use and re-armed forever after; _drain_armed
+        # tracks whether it currently sits in the heap.
+        self._inflight: deque = deque()
+        self._drain_handle = None
+        self._drain_armed = False
+        self._coalesce = COALESCED_DELIVERY
         self._obs = sim.obs
         self._events = self._obs.events if self._obs is not None else None
         if self._obs is not None:
-            self._register_metrics(self._obs.metrics)
+            self._obs.metrics.defer(self._register_metrics)
 
     def _register_metrics(self, registry) -> None:
         from repro.obs.metrics import metric_key
@@ -82,32 +112,109 @@ class Link:
         registry.gauge(f"{base}.failures", lambda: self.failures)
         registry.gauge(f"{base}.up", lambda: self.up)
 
+    @property
+    def inflight_pkts(self) -> int:
+        """Packets currently propagating (coalesced path only)."""
+        return len(self._inflight)
+
     def transmit(self, pkt: Packet) -> None:
         """Called by the port when serialization completes."""
+        sim = self.sim
         if not self.up:
             self.failed_drops += 1
+            self._emit_failed_drop(pkt, sim.now)
             return
-        if self.loss_model is not None and self.loss_model(pkt, self.sim.now):
+        lm = self.loss_model
+        if lm is not None and lm(pkt, sim.now):
             self.lost_pkts += 1
             ev = self._events
             if ev is not None and ev.wants("failure"):
-                ev.emit("failure", "pkt_loss", t=self.sim.now,
+                ev.emit("failure", "pkt_loss", t=sim.now,
                         link=self.name, flow=pkt.flow_id, seq=pkt.seq)
             return
-        self.sim.after(self.prop_ps, self._deliver, pkt)
+        if self._coalesce:
+            q = self._inflight
+            # Inlined sim.reserve_seq(): one bump per transmitted packet.
+            seq = sim._seq = sim._seq + 1
+            q.append((sim.now + self.prop_ps, seq, pkt))
+            if not self._drain_armed:
+                self._drain_armed = True
+                t, s, _ = q[0]
+                handle = self._drain_handle
+                if handle is None:
+                    self._drain_handle = sim.at_seq(t, s, self._drain)
+                else:
+                    # sim.rearm(handle, t, s) inlined (hot path).
+                    handle.time = t
+                    heappush(sim._heap, (t, s, handle))
+        else:
+            sim.after(self.prop_ps, self._deliver, pkt)
+
+    def _drain(self) -> None:
+        """Deliver every due in-flight packet, re-arm for the next head.
+
+        The armed flag is cleared before delivering so that a ``fail()``
+        triggered from inside ``dst.receive`` sees no armed event and
+        simply flushes the deque; the post-loop re-arm then finds it
+        empty and stays dark.
+        """
+        sim = self.sim
+        now = sim.now
+        q = self._inflight
+        self._drain_armed = False
+        dst = self.dst
+        while q and q[0][0] <= now:
+            pkt = q.popleft()[2]
+            self.delivered_pkts += 1
+            dst.receive(pkt)
+        if q:
+            t, s, _ = q[0]
+            self._drain_armed = True
+            handle = self._drain_handle
+            handle.time = t
+            heappush(sim._heap, (t, s, handle))
 
     def _deliver(self, pkt: Packet) -> None:
-        # A failure while the packet was in flight also kills it.
+        # Reference (per-packet-event) path. A failure while the packet
+        # was in flight also kills it; the coalesced path flushes these
+        # eagerly in fail() instead.
         if not self.up:
             self.failed_drops += 1
+            self._emit_failed_drop(pkt, self.sim.now)
             return
         self.delivered_pkts += 1
         self.dst.receive(pkt)
 
+    def _emit_failed_drop(self, pkt: Packet, now: int) -> None:
+        ev = self._events
+        if ev is not None and ev.wants("failure"):
+            ev.emit("failure", "failed_drop", t=now, link=self.name,
+                    flow=pkt.flow_id, seq=pkt.seq)
+
+    def _flush_inflight(self) -> None:
+        """Kill everything mid-flight: count it as failed_drops, emit the
+        same telemetry as the transmit-while-down path, disarm the drain.
+        A cancelled handle cannot be re-armed, so the next transmission
+        after a restore allocates a fresh one."""
+        if self._drain_armed:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+            self._drain_armed = False
+        q = self._inflight
+        if not q:
+            return
+        now = self.sim.now
+        while q:
+            pkt = q.popleft()[2]
+            self.failed_drops += 1
+            self._emit_failed_drop(pkt, now)
+
     def fail(self) -> None:
         """Administratively fail the link. Idempotent: failing a link
         that is already down neither counts a second failure nor
-        notifies the control plane again."""
+        notifies the control plane again. Everything mid-flight is
+        dropped into ``failed_drops`` at fail time, as a fiber cut
+        would."""
         if not self.up:
             return
         self.up = False
@@ -119,6 +226,7 @@ class Link:
             if ev is not None and ev.wants("failure"):
                 ev.emit("failure", "link_down", t=self.sim.now,
                         link=self.name)
+        self._flush_inflight()
         if self.on_state_change is not None:
             self.on_state_change(self)
 

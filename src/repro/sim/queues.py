@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.packet import Packet
-from repro.sim.units import gbps_to_bytes_per_ps, ser_time_ps
+from repro.sim.units import gbps_to_bytes_per_ps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -105,9 +106,16 @@ class PhantomQueue:
 
     def on_enqueue(self, nbytes: int, now_ps: int) -> bool:
         """Account an arrival; returns True if the packet should be marked."""
-        self._drain_to(now_ps)
-        self.occupancy += nbytes
+        # _drain_to inlined: this runs once per data packet per hop.
+        elapsed = now_ps - self._last_ps
         occ = self.occupancy
+        if elapsed > 0:
+            occ -= elapsed * self._drain_bytes_per_ps
+            if occ < 0.0:
+                occ = 0.0
+            self._last_ps = now_ps
+        occ += nbytes
+        self.occupancy = occ
         if occ <= self.min_th:
             return False
         if occ >= self.max_th:
@@ -147,6 +155,11 @@ class Port:
         "_int_win_start",
         "_int_win_bytes",
         "_int_rate",
+        "_gbps",
+        "_red_min_th",
+        "_red_max_th",
+        "_red_span",
+        "_tx_handle",
     )
 
     def __init__(
@@ -182,6 +195,16 @@ class Port:
         self.red_marked_pkts = 0      # marks decided by physical RED
         self.phantom_marked_pkts = 0  # marks decided by the phantom queue
         self.tx_bytes = 0
+        # Hot-path precomputation: link rate and RED thresholds are
+        # immutable after construction, so the per-packet path reads
+        # them from slots instead of recomputing frac * capacity.
+        self._gbps = link.gbps
+        self._red_min_th = self.red.min_frac * capacity_bytes
+        self._red_max_th = self.red.max_frac * capacity_bytes
+        self._red_span = self._red_max_th - self._red_min_th
+        # The one perpetual serialization event: allocated on the first
+        # transmission, re-armed (never re-allocated) for every later one.
+        self._tx_handle = None
         # Optional callable(port, event, pkt, info): fired on "drop" and
         # "mark"; for marks ``info`` carries the decision
         # {"phys": bool, "phantom": bool} (a mark may come from both).
@@ -189,7 +212,7 @@ class Port:
         obs = sim.obs
         self._events = obs.events if obs is not None else None
         if obs is not None:
-            self._register_metrics(obs.metrics)
+            obs.metrics.defer(self._register_metrics)
         # In-band network telemetry (for HPCC-class transports): when
         # enabled, every transmitted packet carries the max per-hop
         # utilization U = qlen/(B*T) + txRate/B along its path.
@@ -222,14 +245,12 @@ class Port:
     # -- marking ---------------------------------------------------------
 
     def _red_marks(self, occupancy_before: int) -> bool:
-        min_th = self.red.min_frac * self.capacity_bytes
-        max_th = self.red.max_frac * self.capacity_bytes
-        if occupancy_before < min_th:
+        if occupancy_before < self._red_min_th:
             return False
-        if occupancy_before >= max_th:
+        if occupancy_before >= self._red_max_th:
             return True
-        span = max_th - min_th
-        p = (occupancy_before - min_th) / span if span > 0 else 1.0
+        span = self._red_span
+        p = (occupancy_before - self._red_min_th) / span if span > 0 else 1.0
         return self._rng.random() < p
 
     # -- datapath --------------------------------------------------------
@@ -238,21 +259,33 @@ class Port:
         """Offer a packet; returns False if it was tail-dropped."""
         now = self.sim.now
         ev = self._events
-        if self.bytes_queued + pkt.size > self.capacity_bytes:
+        size = pkt.size
+        occupancy = self.bytes_queued
+        if occupancy + size > self.capacity_bytes:
             self.drops += 1
             if ev is not None and ev.wants("queue"):
                 ev.emit("queue", "drop", t=now, port=self.name,
-                        flow=pkt.flow_id, seq=pkt.seq, size=pkt.size,
-                        queued_bytes=self.bytes_queued)
+                        flow=pkt.flow_id, seq=pkt.seq, size=size,
+                        queued_bytes=occupancy)
             if self.monitor is not None:
                 self.monitor(self, "drop", pkt, {})
             return False
         # RNG draw order (RED first, then phantom) is load-bearing: it
-        # must not depend on whether telemetry is attached.
-        red_marked = self._red_marks(self.bytes_queued)
+        # must not depend on whether telemetry is attached. RED is
+        # inlined here (thresholds precomputed at construction); the RNG
+        # is drawn exactly when min_th <= occupancy < max_th, as in
+        # _red_marks.
+        if occupancy < self._red_min_th:
+            red_marked = False
+        elif occupancy >= self._red_max_th:
+            red_marked = True
+        else:
+            span = self._red_span
+            p = (occupancy - self._red_min_th) / span if span > 0 else 1.0
+            red_marked = self._rng.random() < p
+        phantom = self.phantom
         phantom_marked = (
-            self.phantom.on_enqueue(pkt.size, now)
-            if self.phantom is not None else False
+            phantom.on_enqueue(size, now) if phantom is not None else False
         )
         if red_marked or phantom_marked:
             pkt.ecn = True
@@ -271,28 +304,50 @@ class Port:
         self.enqueued_pkts += 1
         if ev is not None and ev.wants("queue"):
             ev.emit("queue", "enqueue", t=now, port=self.name,
-                    flow=pkt.flow_id, seq=pkt.seq, size=pkt.size)
+                    flow=pkt.flow_id, seq=pkt.seq, size=size)
         self._fifo.append(pkt)
-        self.bytes_queued += pkt.size
+        self.bytes_queued = occupancy + size
         if not self._busy:
-            self._start_tx()
+            # Idle port: the packet just appended is the head; start its
+            # serialization. Same arithmetic as units.ser_time_ps,
+            # inlined — it must stay bit-identical to it.
+            self._busy = True
+            ser = round(size * 8000 / self._gbps)
+            if ser < 1:
+                ser = 1
+            sim = self.sim
+            handle = self._tx_handle
+            if handle is None:
+                self._tx_handle = sim.after(ser, self._finish_tx)
+            else:
+                # sim.rearm(handle, now + ser) inlined: one push per
+                # serialized packet makes the call overhead measurable.
+                sim._seq = seq = sim._seq + 1
+                handle.time = t = now + ser
+                heappush(sim._heap, (t, seq, handle))
         return True
 
-    def _start_tx(self) -> None:
-        pkt = self._fifo[0]
-        self._busy = True
-        ser = ser_time_ps(pkt.size, self.link.gbps)
-        self.sim.after(ser, self._finish_tx)
-
     def _finish_tx(self) -> None:
-        pkt = self._fifo.popleft()
-        self.bytes_queued -= pkt.size
-        self.tx_bytes += pkt.size
+        fifo = self._fifo
+        pkt = fifo.popleft()
+        size = pkt.size
+        self.bytes_queued -= size
+        self.tx_bytes += size
         if self.int_t_ref_ps is not None:
             self._stamp_int(pkt)
         self.link.transmit(pkt)
-        if self._fifo:
-            self._start_tx()
+        if fifo:
+            # Back-to-back serialization: re-arm the one tx event for the
+            # next head (allocation-free; same (time, seq) the per-packet
+            # schedule would draw; sim.rearm inlined as in enqueue).
+            sim = self.sim
+            ser = round(fifo[0].size * 8000 / self._gbps)
+            if ser < 1:
+                ser = 1
+            sim._seq = seq = sim._seq + 1
+            handle = self._tx_handle
+            handle.time = t = sim.now + ser
+            heappush(sim._heap, (t, seq, handle))
         else:
             self._busy = False
 

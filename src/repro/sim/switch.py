@@ -85,6 +85,7 @@ class Switch(FailureDomain):
         "up",
         "attached_links",
         "down_node_drops",
+        "_hash_cache",
     )
 
     MODES = ("ecmp", "rps")
@@ -115,10 +116,15 @@ class Switch(FailureDomain):
         self._qcn_last_ps: Dict[int, int] = {}  # flow id -> last CNP time
         self.cnps_sent = 0
         self.no_route_drops = 0   # known dst, empty equal-cost set
+        # ECMP memo: flow identity -> full 64-bit hash. The hash is pure
+        # in its inputs, so caching preserves path selection exactly; the
+        # full hash (not the modulo) is stored so the choice stays
+        # correct when failures shrink the equal-cost set.
+        self._hash_cache: Dict[Tuple[int, int, int, int], int] = {}
         self._init_failure_domain()
         obs = sim.obs
         if obs is not None:
-            self._register_metrics(obs.metrics)
+            obs.metrics.defer(self._register_metrics)
 
     def _register_metrics(self, registry) -> None:
         from repro.obs.metrics import metric_key
@@ -165,19 +171,27 @@ class Switch(FailureDomain):
                             switch=self.name, dst=pkt.dst,
                             flow=pkt.flow_id, seq=pkt.seq)
             return
-        if len(choices) == 1:
+        n = len(choices)
+        if n == 1:
             port = choices[0]
         elif self.mode == "rps":
-            port = choices[self._rng.randrange(len(choices))]
+            port = choices[self._rng.randrange(n)]
             self.sprayed_pkts += 1
         else:
-            idx = flow_hash(pkt.src, pkt.dst, pkt.sport, pkt.dport, self.salt)
-            port = choices[idx % len(choices)]
+            key = (pkt.src, pkt.dst, pkt.sport, pkt.dport)
+            cache = self._hash_cache
+            idx = cache.get(key)
+            if idx is None:
+                if len(cache) >= 65536:  # bound memory under sport churn
+                    cache.clear()
+                idx = cache[key] = flow_hash(*key, self.salt)
+            port = choices[idx % n]
             self.multipath_pkts += 1
+        qcn = self.qcn
         if (
-            self.qcn is not None
+            qcn is not None
             and pkt.kind == DATA
-            and port.bytes_queued > self.qcn.threshold_bytes
+            and port.bytes_queued > qcn.threshold_bytes
         ):
             self._maybe_send_cnp(pkt)
         port.enqueue(pkt)

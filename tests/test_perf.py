@@ -1,0 +1,391 @@
+"""Hot-path overhaul invariants: coalesced event streams, tombstone
+compaction, packet pooling, and lazy metric registration.
+
+The perf work in engine/link/queues must be *observationally invisible*:
+same event order, same results, byte-identical summaries. These tests pin
+that bar — plus the safety nets (poison pooling, failure flush telemetry)
+the optimizations ship with.
+"""
+
+import random
+
+import pytest
+
+import repro.sim.link as link_mod
+from repro import obs
+from repro.experiments import fig1
+from repro.experiments.api import canonical_json
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_multidc,
+    make_launcher,
+    run_specs,
+)
+from repro.obs import TelemetryContext, enable
+from repro.sim import packet as packet_mod
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.link import Link
+from repro.sim.packet import ACK, DATA, Packet, PacketPool
+from repro.sim.units import KIB, US
+from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+from repro.workloads.generator import PoissonTraffic, TrafficConfig
+from repro.workloads.websearch import WEBSEARCH_CDF
+
+SCALE = ExperimentScale.quick()
+
+
+# ----------------------------------------------------------------------
+# engine: reserved sequences, rearm, compaction, live_pending
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_same_picosecond_scheduling_order_property(self):
+        """Same-time events fire in scheduling order, no matter how they
+        were scheduled: plain at(), cancelled tombstones in between, or
+        reserved seqs armed later (in shuffled arming order)."""
+        rng = random.Random(7)
+        for _ in range(25):
+            sim = Simulator()
+            fired, expected, reserved = [], [], []
+            t = 1_000
+            for i in range(rng.randrange(2, 40)):
+                style = rng.randrange(3)
+                if style == 0:
+                    sim.at(t, fired.append, i)
+                    expected.append(i)
+                elif style == 1:
+                    sim.at(t, fired.append, -1).cancel()
+                else:
+                    reserved.append((sim.reserve_seq(), i))
+                    expected.append(i)
+            rng.shuffle(reserved)  # push order must not matter
+            for seq, i in reserved:
+                sim.at_seq(t, seq, fired.append, i)
+            sim.run()
+            assert fired == expected
+
+    def test_rearm_refires_and_rejects_cancelled(self):
+        sim = Simulator()
+        out = []
+        handle = sim.at(5, out.append, 1)
+        sim.run()
+        assert out == [1]
+        sim.rearm(handle, 10)
+        sim.run()
+        assert out == [1, 1]
+        dead = sim.at(20, out.append, 2)
+        dead.cancel()
+        with pytest.raises(ValueError):
+            sim.rearm(dead, 30)
+
+    def test_at_seq_rejects_past(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at_seq(5, sim.reserve_seq(), lambda: None)
+
+    def test_live_pending_excludes_tombstones(self):
+        sim = Simulator()
+        keep = sim.at(10, lambda: None)
+        sim.at(20, lambda: None).cancel()
+        assert sim.pending == 2
+        assert sim.live_pending == 1
+        keep.cancel()
+        assert sim.live_pending == 0
+        assert sim.peek_time() is None
+
+    def test_compaction_drops_tombstones_and_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.at(10_000 + i, fired.append, i) for i in range(1000)]
+        for handle in handles[:900]:
+            handle.cancel()
+        assert sim.pending == 1000 and sim.live_pending == 100
+        sim.at(50_000, fired.append, 1000)  # schedule triggers compaction
+        assert sim.compactions >= 1
+        assert sim.pending == sim.live_pending == 101
+        sim.run()
+        assert fired == list(range(900, 1000)) + [1000]
+
+    def test_run_until_pushes_back_future_event(self):
+        sim = Simulator()
+        out = []
+        sim.at(5, out.append, 1)
+        sim.at(50, out.append, 2)
+        sim.run(until=10)
+        assert out == [1] and sim.now == 10 and sim.live_pending == 1
+        sim.run()
+        assert out == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# link: coalesced delivery, failure flush, in-flight loss telemetry
+# ----------------------------------------------------------------------
+
+
+class _Sink:
+    def __init__(self):
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append(pkt)
+
+
+def _data(seq=0, size=1000):
+    return Packet(DATA, flow_id=1, src=0, dst=1, seq=seq, size=size)
+
+
+class TestLinkCoalescing:
+    def test_single_armed_event_many_inflight(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, prop_ps=5 * US)
+        link.dst = _Sink()
+        for seq in range(10):
+            link.transmit(_data(seq))
+            sim.run(until=sim.now + 10)  # distinct transmit times
+        assert link.inflight_pkts == 10
+        assert sim.live_pending == 1  # ONE drain event for all ten
+        sim.run()
+        assert link.delivered_pkts == 10
+        assert [p.seq for p in link.dst.got] == list(range(10))
+        assert link.inflight_pkts == 0
+
+    def test_fail_flushes_inflight_with_telemetry(self):
+        sim = Simulator()
+        bundle = enable(sim, event_topics="all", profile=False)
+        link = Link(sim, 100.0, prop_ps=5 * US, name="l")
+        link.dst = _Sink()
+        link.transmit(_data(0))
+        link.transmit(_data(1))
+        sim.run(until=2 * US)
+        link.fail()
+        sim.run()
+        assert link.failed_drops == 2
+        assert link.dst.got == []
+        drops = bundle.events.events(topic="failure", kind="failed_drop")
+        assert [e["seq"] for e in drops] == [0, 1]
+
+    def test_transmit_while_down_emits_failed_drop(self):
+        sim = Simulator()
+        bundle = enable(sim, event_topics="all", profile=False)
+        link = Link(sim, 100.0, prop_ps=5 * US, name="l")
+        link.dst = _Sink()
+        link.fail()
+        link.transmit(_data(3))
+        assert link.failed_drops == 1
+        assert bundle.events.events(topic="failure",
+                                    kind="failed_drop")[0]["seq"] == 3
+
+    def test_reference_path_inflight_failure_emits_event(self, monkeypatch):
+        # Satellite bugfix: the per-packet path used to drop silently
+        # when the link failed mid-flight.
+        monkeypatch.setattr(link_mod, "COALESCED_DELIVERY", False)
+        sim = Simulator()
+        bundle = enable(sim, event_topics="all", profile=False)
+        link = Link(sim, 100.0, prop_ps=5 * US, name="l")
+        link.dst = _Sink()
+        link.transmit(_data(9))
+        sim.run(until=2 * US)
+        link.fail()
+        sim.run()
+        assert link.failed_drops == 1
+        assert bundle.events.events(topic="failure",
+                                    kind="failed_drop")[0]["seq"] == 9
+
+    def test_restore_after_fail_delivers_again(self):
+        sim = Simulator()
+        link = Link(sim, 100.0, prop_ps=5 * US)
+        link.dst = _Sink()
+        link.transmit(_data(0))
+        sim.run(until=1 * US)
+        link.fail()
+        link.restore()
+        link.transmit(_data(1))
+        sim.run()
+        assert link.failed_drops == 1
+        assert [p.seq for p in link.dst.got] == [1]
+
+
+# ----------------------------------------------------------------------
+# determinism: coalesced vs reference path, repeat runs
+# ----------------------------------------------------------------------
+
+
+def _mixed_traffic_summary(seed: int):
+    """A small two-DC Poisson run reduced to a canonical JSON summary."""
+    sim = Simulator()
+    params = SCALE.params()
+    topo = build_multidc(sim, "uno", params, SCALE, seed=seed)
+    traffic = PoissonTraffic(
+        topo,
+        TrafficConfig(
+            load=0.3,
+            duration_ps=3_000_000_000,
+            intra_cdf=WEBSEARCH_CDF.scaled(1 / 64),
+            inter_cdf=ALIBABA_WAN_CDF.scaled(1 / 64),
+            max_flows=30,
+            seed=seed,
+        ),
+    )
+    specs = traffic.generate()
+    launcher = make_launcher("uno", sim, topo, params, seed=seed)
+    senders = run_specs(sim, specs, launcher, SCALE.horizon_ps)
+    summary = canonical_json([
+        (s.flow_id, s.stats.fct_ps, s.stats.retransmissions)
+        for s in senders
+    ])
+    return summary, sim.events_executed
+
+
+class TestDeterminism:
+    def test_coalesced_matches_reference_path(self, monkeypatch):
+        """The coalesced delivery stream is event-for-event identical to
+        the one-heap-entry-per-packet reference path: byte-identical
+        summaries AND the same executed-event count."""
+        coalesced = _mixed_traffic_summary(71)
+        monkeypatch.setattr(link_mod, "COALESCED_DELIVERY", False)
+        reference = _mixed_traffic_summary(71)
+        assert coalesced == reference
+
+    def test_repeat_run_byte_identical(self):
+        assert _mixed_traffic_summary(43) == _mixed_traffic_summary(43)
+
+    def test_fig1_point_run_twice_byte_identical(self):
+        point = fig1.points(quick=True)[0]
+        first = canonical_json(fig1.run_point(point))
+        second = canonical_json(fig1.run_point(point))
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# packet pooling
+# ----------------------------------------------------------------------
+
+
+class TestPacketPool:
+    def test_recycles_released_objects(self):
+        pool = PacketPool()
+        pkt = pool.acquire(DATA, 1, src=2, dst=3, seq=0, size=100)
+        pool.release(pkt)
+        again = pool.acquire(ACK, 1, src=3, dst=2, seq=0, size=64)
+        assert again is pkt
+        assert again.kind == ACK and again.ecn is False and again.retx == 0
+        assert pool.stats()["recycled"] == 1
+
+    def test_double_release_raises(self):
+        pool = PacketPool()
+        pkt = pool.acquire(DATA, 1, src=2, dst=3, seq=0, size=100)
+        pool.release(pkt)
+        with pytest.raises(RuntimeError, match="double release"):
+            pool.release(pkt)
+
+    def test_poison_catches_write_after_release(self):
+        pool = PacketPool(poison=True)
+        pkt = pool.acquire(DATA, 1, src=2, dst=3, seq=0, size=100)
+        pool.release(pkt)
+        pkt.seq = 7  # stale alias writes through
+        with pytest.raises(RuntimeError, match="written after release"):
+            pool.acquire(DATA, 1, src=2, dst=3, seq=1, size=100)
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setattr(packet_mod, "_POOL_MODE", "")
+        assert packet_mod.default_pool() is None
+        monkeypatch.setattr(packet_mod, "_POOL_MODE", "1")
+        pool = packet_mod.default_pool()
+        assert isinstance(pool, PacketPool) and not pool.poison
+        monkeypatch.setattr(packet_mod, "_POOL_MODE", "poison")
+        assert packet_mod.default_pool().poison
+
+    def test_end_to_end_poison_run_recycles(self):
+        """A full dumbbell transfer under poison pooling: completes, and
+        actually recycles packets (the release rules do fire)."""
+        from repro.topology.simple import dumbbell
+        from repro.transport.dctcp import DCTCP
+        from repro.transport.base import start_flow
+
+        sim = Simulator()
+        topo = dumbbell(sim, n_pairs=2, gbps=25.0, prop_ps=1 * US,
+                        queue_bytes=256 * KIB, seed=3)
+        hosts = list(topo.senders) + list(topo.receivers)
+        for host in hosts:
+            host.enable_packet_pool(poison=True)
+        senders = [
+            start_flow(sim, topo.net, DCTCP(), s, r, 256 * KIB,
+                       base_rtt_ps=8 * US, seed=i)
+            for i, (s, r) in enumerate(zip(topo.senders, topo.receivers))
+        ]
+        sim.run()
+        assert all(s.done for s in senders)
+        assert sum(h.pool.recycled for h in hosts) > 0
+
+    def test_pooled_results_match_unpooled(self):
+        """Pooling must not change simulation results, only allocation."""
+        from repro.topology.simple import dumbbell
+        from repro.transport.dctcp import DCTCP
+        from repro.transport.base import start_flow
+
+        def fcts(pooled: bool):
+            sim = Simulator()
+            topo = dumbbell(sim, n_pairs=2, gbps=25.0, prop_ps=1 * US,
+                            queue_bytes=256 * KIB, seed=3)
+            for host in list(topo.senders) + list(topo.receivers):
+                host.pool = PacketPool(poison=True) if pooled else None
+            senders = [
+                start_flow(sim, topo.net, DCTCP(), s, r, 256 * KIB,
+                           base_rtt_ps=8 * US, seed=i)
+                for i, (s, r) in enumerate(
+                    zip(topo.senders, topo.receivers))
+            ]
+            sim.run()
+            return [(s.stats.fct_ps, s.stats.retransmissions)
+                    for s in senders]
+
+        assert fcts(pooled=True) == fcts(pooled=False)
+
+
+# ----------------------------------------------------------------------
+# lazy metric registration
+# ----------------------------------------------------------------------
+
+
+class TestLazyMetrics:
+    def test_gauges_materialize_at_snapshot(self):
+        with TelemetryContext(profile=False):
+            sim = Simulator()
+            Link(sim, 10.0, prop_ps=5, name="lz")
+            registry = sim.obs.metrics
+            assert registry._gauges == {}  # registration deferred
+            snap = registry.snapshot()
+        assert snap["link"]["lz"]["delivered_pkts"] == 0
+        assert snap["link"]["lz"]["up"] is True
+
+    def test_value_reads_deferred_gauge(self):
+        with TelemetryContext(profile=False):
+            sim = Simulator()
+            link = Link(sim, 10.0, prop_ps=5, name="lz2")
+            link.delivered_pkts = 4
+            assert sim.obs.metrics.value("link.lz2.delivered_pkts") == 4
+
+    def test_duplicate_names_still_detected(self):
+        with TelemetryContext(profile=False):
+            sim = Simulator()
+            Link(sim, 10.0, prop_ps=5, name="dup")
+            Link(sim, 10.0, prop_ps=5, name="dup")
+            with pytest.raises(ValueError, match="already registered"):
+                sim.obs.metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
+# host pool default
+# ----------------------------------------------------------------------
+
+
+class TestHostPool:
+    def test_enable_packet_pool(self):
+        sim = Simulator()
+        host = Host(sim, 0, "h0")
+        pool = host.enable_packet_pool(poison=True)
+        assert host.pool is pool and pool.poison

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Benchmark driver: run the perf scenarios and write ``BENCH_<name>.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/bench.py --quick            # quick tier
+    PYTHONPATH=src python tools/bench.py                    # full tier
+    PYTHONPATH=src python tools/bench.py --only fattree_perm --repeat 3
+    PYTHONPATH=src python tools/bench.py --quick \
+        --check-baseline benchmarks/perf/baseline.json      # CI gate
+
+Each scenario writes one ``BENCH_<name>.json`` in ``--out`` (default:
+the repo root) recording events/sec, packets/sec and peak RSS — the
+repo's performance trajectory, one file per scenario per tree state.
+With ``--repeat N`` the best (highest events/sec) of N runs is kept, so
+the number tracks the machine's capability rather than scheduler noise.
+
+``--check-baseline`` compares each core scenario's events/sec against a
+committed baseline file and exits non-zero if any regresses by more than
+``--tolerance`` (default 0.25). Baselines are machine-dependent: commit
+conservative numbers (see benchmarks/perf/baseline.json) so the gate
+catches algorithmic regressions, not hardware variance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))          # benchmarks package
+sys.path.insert(0, str(REPO_ROOT / "src"))  # repro package
+
+from benchmarks.perf import scenarios as S  # noqa: E402
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (Linux: KiB)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss * 1024 if platform.system() == "Linux" else rss
+
+
+def run_scenario(name: str, fn, quick: bool, seed: int, repeat: int) -> dict:
+    best = None
+    for _ in range(repeat):
+        rec = fn(quick, seed)
+        key = rec.get("builds_per_sec") or rec["events_per_sec"]
+        if best is None or key > (best.get("builds_per_sec")
+                                  or best["events_per_sec"]):
+            best = rec
+    best.update(
+        quick=quick,
+        seed=seed,
+        repeat=repeat,
+        peak_rss_bytes=peak_rss_bytes(),
+        python=platform.python_version(),
+        machine=platform.machine(),
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"),
+    )
+    return best
+
+
+def check_baseline(results: list[dict], baseline_path: Path,
+                   tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = 0
+    for rec in results:
+        name = rec["name"]
+        base = baseline.get(name)
+        if not base or name not in S.CORE_SCENARIOS:
+            continue
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        status = "ok" if rec["events_per_sec"] >= floor else "REGRESSED"
+        print(f"  baseline {name}: {rec['events_per_sec']:,.0f} ev/s vs "
+              f"floor {floor:,.0f} ev/s ({base['events_per_sec']:,.0f} "
+              f"- {tolerance:.0%}) -> {status}")
+        if status != "ok":
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small inputs (CI tier)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated scenario names")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs per scenario; best is kept")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(REPO_ROOT),
+                        help="directory for BENCH_<name>.json files")
+    parser.add_argument("--check-baseline", default=None, metavar="FILE",
+                        help="fail if a core scenario's events/sec "
+                             "regresses past --tolerance vs FILE")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    table = S.all_scenarios()
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in table]
+        if unknown:
+            parser.error(f"unknown scenarios {unknown}; "
+                         f"choose from {sorted(table)}")
+    else:
+        names = list(table)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results = []
+    for name in names:
+        print(f"[bench] {name} (quick={args.quick}, repeat={args.repeat})")
+        rec = run_scenario(name, table[name], args.quick, args.seed,
+                           args.repeat)
+        results.append(rec)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(rec, indent=2, sort_keys=True) + "\n")
+        rate = (f"{rec['builds_per_sec']:.2f} builds/s"
+                if rec.get("builds_per_sec")
+                else f"{rec['events_per_sec']:,.0f} ev/s, "
+                     f"{rec['packets_per_sec']:,.0f} pkt/s")
+        print(f"  {rate}  wall={rec['wall_s']:.3f}s  "
+              f"rss={rec['peak_rss_bytes'] / 2**20:.0f}MiB  -> {path}")
+
+    if args.check_baseline:
+        failures = check_baseline(results, Path(args.check_baseline),
+                                  args.tolerance)
+        if failures:
+            print(f"[bench] {failures} scenario(s) regressed past "
+                  f"{args.tolerance:.0%}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,12 @@ substitution notes); ``quick=False`` approaches the paper's scale.
 from repro.experiments.api import (
     EXPERIMENTS,
     ExperimentPoint,
+    TwoDCWorkload,
     canonical_json,
+    check_equivalence,
     execute_point,
     experiment_module,
+    run_sharded,
 )
 from repro.experiments.cache import ResultCache, point_key
 from repro.experiments.harness import (
@@ -48,7 +51,9 @@ __all__ = [
     "FlowLauncher",
     "PointRecord",
     "ResultCache",
+    "TwoDCWorkload",
     "build_multidc",
+    "check_equivalence",
     "canonical_json",
     "execute_point",
     "experiment_module",
@@ -59,6 +64,7 @@ __all__ = [
     "results_by_name",
     "run_experiment",
     "run_points",
+    "run_sharded",
     "run_specs",
     "scale_for",
 ]

@@ -142,3 +142,13 @@ def execute_point(point: ExperimentPoint) -> Dict[str, Any]:
     the result. This is the function worker processes run."""
     module = experiment_module(point.experiment)
     return normalize_result(module.run_point(point))
+
+
+# Sharded execution is part of the experiment API surface: campaigns ask
+# for it with ``run_all --shards`` and tests drive it directly. The
+# implementation lives in :mod:`repro.experiments.sharded`.
+from repro.experiments.sharded import (  # noqa: E402  (re-export)
+    TwoDCWorkload,
+    check_equivalence,
+    run_sharded,
+)

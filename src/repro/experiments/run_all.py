@@ -4,6 +4,7 @@ Usage:
     python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
         [--jobs N] [--resume] [--seed S] [--out DIR] [--timeout SECS]
         [--telemetry] [--retries N] [--chaos CAMPAIGN] [--convergence V]
+        [--shards N]
 
 All selected experiments are decomposed into independent points first,
 then the whole point set is executed by one runner pass — so ``--jobs``
@@ -30,6 +31,13 @@ is non-zero if any point fails, any flow ends non-terminal (neither
 completed nor aborted by policy), or any run invariant is violated. ``--convergence`` selects the control plane for
 every campaign point: ``default`` (failure-aware rerouting), a number
 (delay in ps; ``0`` = static tables), or ``inf`` (never reroute).
+
+``--shards 2`` runs the sharded-equivalence campaign instead of the
+paper experiments: the pinned two-DC workload on a single engine vs one
+engine process per DC under conservative border-link sync. Exit status
+is non-zero unless the runs are flow-for-flow identical with zero
+cross-shard conservation violations; the verdict lands at
+``<out>/summaries/sharded-two-dc.json``.
 
 Quick mode (default) takes minutes on one core; --paper takes hours.
 """
@@ -78,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--convergence", type=str, default="default",
                         help="chaos-only control-plane knob: 'default', a "
                              "delay in ps (0 = static routes), or 'inf'")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run the sharded two-DC campaign on N engines "
+                             "(N=2: one per DC) instead of the paper "
+                             "experiments, checking flow-level equivalence "
+                             "against the single-engine run")
     return parser
 
 
@@ -104,8 +117,13 @@ def main(argv: Optional[List[str]] = None) -> None:
     out = Path(args.out)
     cache = ResultCache(out / "points")
 
+    if args.chaos and args.shards:
+        parser.error("--chaos and --shards are mutually exclusive")
     if args.chaos:
         run_chaos_campaign(args, parser, quick, out, cache)
+        return
+    if args.shards is not None:
+        run_sharded_campaign(args, parser, quick, out)
         return
 
     modules = {name: experiment_module(name) for name in targets}
@@ -191,6 +209,60 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
     print(f"[chaos {args.chaos} done in {elapsed:.1f}s]")
 
     if failed or res["total_violations"] or not res["all_flows_terminal"]:
+        raise SystemExit(1)
+
+
+def run_sharded_campaign(args, parser, quick: bool, out: Path) -> None:
+    """Run the pinned two-DC workload sharded and gate on equivalence.
+
+    One engine per DC (``--shards 2``), synchronized conservatively
+    across the border links, compared flow-by-flow (FCTs, retransmits,
+    timeouts, bytes acked) against the single-engine reference run.
+    Writes ``<out>/summaries/sharded-two-dc.json``; exits non-zero on
+    any flow-level mismatch or cross-shard conservation violation.
+    """
+    from repro.experiments.sharded import (
+        SUPPORTED_SHARDS, TwoDCWorkload, check_equivalence,
+    )
+
+    if args.shards not in SUPPORTED_SHARDS or args.shards < 2:
+        parser.error(f"--shards must be 2 (one engine per DC), "
+                     f"got {args.shards}")
+    workload = TwoDCWorkload(
+        seed=args.seed if args.seed is not None else 1,
+        max_flows=400 if quick else 2000,
+    )
+    report = check_equivalence(workload, processes=True)
+    sharded = report["sharded"]
+    single = report["single"]
+    summary = {
+        "equivalent": report["equivalent"],
+        "flows": report["flows"],
+        "mismatches": report["mismatches"],
+        "violations": report["violations"],
+        "shards": args.shards,
+        "rounds": sharded["rounds"],
+        "lookahead_ps": sharded["lookahead_ps"],
+        "sharded_events": sharded["total_events"],
+        "single_events": single["total_events"],
+        "sharded_wall_s": sharded["wall_s"],
+        "single_wall_s": single["wall_s"],
+        "sharded_busy_cpu_s": sharded["busy_cpu_s"],
+        "single_busy_cpu_s": single["busy_cpu_s"],
+    }
+    summaries_dir = out / "summaries"
+    summaries_dir.mkdir(parents=True, exist_ok=True)
+    (summaries_dir / "sharded-two-dc.json").write_text(
+        _summary_json(summary) + "\n")
+    status = "EQUIVALENT" if report["equivalent"] else "MISMATCH"
+    print(f"[sharded two-DC: {status} over {report['flows']} flows, "
+          f"{sharded['rounds']} sync rounds, "
+          f"{sharded['total_events']} events]")
+    for line in report["mismatches"][:20]:
+        print(f"  {line}", file=sys.stderr)
+    for line in report["violations"]:
+        print(f"  {line}", file=sys.stderr)
+    if not report["equivalent"]:
         raise SystemExit(1)
 
 

@@ -1,0 +1,301 @@
+"""Sharded two-DC runs: the experiment-facing face of `repro.sim.shard`.
+
+The shard cut follows the replicated-world scheme: **every shard builds
+the full two-DC topology and launches the full flow set** in exactly the
+construction order a single-engine run would, so every seeded RNG stream
+(switch salts, per-port RED/phantom generators, flow ids and with them
+ECMP hashes) is bit-identical across shards and to the single run. Each
+shard then *deactivates* what it does not own — senders whose source
+host lives in the other DC have their start event cancelled, receivers
+whose destination host is remote are dropped from the endpoint registry
+before any timer arms — and severs the border links through a
+:class:`~repro.sim.shard.ShardBoundary`. What remains live in shard
+``k`` is exactly DC ``k``'s half of the traffic, exchanging packets with
+the other half through conservative windows.
+
+:func:`run_sharded` is the public entry: ``shards=1`` runs the ordinary
+single-engine simulation, ``shards=2`` runs one shard per DC, inline or
+as one OS process per shard. :func:`check_equivalence` runs both and
+diffs per-flow FCTs and retransmit counts — the repo's acceptance gate
+for the whole scheme (see tests/test_shard.py and ``run_all --shards``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.shard import (
+    ConservativeCoordinator,
+    InlineShard,
+    ProcessShard,
+    ShardBoundary,
+)
+
+#: The only shard counts run_sharded accepts (the cut is per-DC).
+SUPPORTED_SHARDS = (1, 2)
+
+
+@dataclass(frozen=True)
+class TwoDCWorkload:
+    """A pinned, fully-deterministic two-DC Poisson workload.
+
+    Picklable and value-typed: shard worker processes rebuild the exact
+    same world from it. Defaults mirror the ``two_dc_mixed`` benchmark
+    (quick tier): mixed websearch / Alibaba-WAN traffic at 40 % load.
+    """
+
+    scheme: str = "uno"
+    seed: int = 1
+    load: float = 0.4
+    duration_ps: int = 40_000_000_000
+    max_flows: int = 400
+    size_scale: float = 1.0 / 64.0
+    horizon_ps: int = 4_000_000_000_000
+
+
+class ShardWorld:
+    """One shard's (or the single run's) fully-built simulation world."""
+
+    def __init__(self, workload: TwoDCWorkload,
+                 shard_id: Optional[int] = None):
+        from repro.experiments.harness import (
+            ExperimentScale, build_multidc, make_launcher,
+        )
+        from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
+        from repro.workloads.generator import PoissonTraffic, TrafficConfig
+        from repro.workloads.websearch import WEBSEARCH_CDF
+
+        self.workload = workload
+        self.shard_id = shard_id
+        scale = ExperimentScale.quick()
+        self.horizon_ps = workload.horizon_ps
+        self.sim = Simulator()
+        params = scale.params()
+        self.topo = build_multidc(
+            self.sim, workload.scheme, params, scale, seed=workload.seed
+        )
+        traffic = PoissonTraffic(
+            self.topo,
+            TrafficConfig(
+                load=workload.load,
+                duration_ps=workload.duration_ps,
+                intra_cdf=WEBSEARCH_CDF.scaled(workload.size_scale),
+                inter_cdf=ALIBABA_WAN_CDF.scaled(workload.size_scale),
+                max_flows=workload.max_flows,
+                seed=workload.seed,
+            ),
+        )
+        specs = traffic.generate()
+        launcher = make_launcher(
+            workload.scheme, self.sim, self.topo, params, seed=workload.seed
+        )
+        self.unfinished = [len(specs)]
+
+        def done(_s) -> None:
+            self.unfinished[0] -= 1
+
+        # Launch ALL flows in every shard — flow-id and RNG parity with
+        # the single-engine run — then deactivate the non-local ones.
+        self.senders = [
+            launcher(spec, idx, done) for idx, spec in enumerate(specs)
+        ]
+        self.boundary: Optional[ShardBoundary] = None
+        if shard_id is not None:
+            self._shard(shard_id)
+
+    # -- sharding ----------------------------------------------------------
+
+    def _shard(self, shard_id: int) -> None:
+        topo = self.topo
+        self.boundary = boundary = ShardBoundary(self.sim, shard_id)
+        local_border = topo.borders[shard_id]
+        for ab, ba in topo.border_links:
+            out_link = ab if shard_id == 0 else ba  # src is local border
+            in_link = ba if shard_id == 0 else ab
+            port = next(
+                p for p in local_border.ports.values() if p.link is out_link
+            )
+            boundary.cut_egress(port, out_link)
+            boundary.open_ingress(in_link)
+        for sender in self.senders:
+            flow_id = sender.flow_id
+            if sender.src.dc != shard_id:
+                # Remote sender: never starts here. Its real copy runs in
+                # the shard owning the source host.
+                sender.start_handle.cancel()
+                sender.src.endpoints.pop(flow_id, None)
+                self.unfinished[0] -= 1
+            if sender.dst.dc != shard_id:
+                # Remote receiver: drop before any timer lazily arms.
+                sender.dst.endpoints.pop(flow_id, None)
+
+    # -- results -----------------------------------------------------------
+
+    def local_senders(self) -> List[Any]:
+        """Senders owned (simulated) by this shard."""
+        if self.shard_id is None:
+            return list(self.senders)
+        return [s for s in self.senders if s.src.dc == self.shard_id]
+
+    def collect(self) -> Dict[str, Any]:
+        """Plain-dict results: per-flow outcomes + engine/boundary totals."""
+        flows = {}
+        for sender in self.local_senders():
+            s = sender.stats
+            flows[s.flow_id] = {
+                "fct_ps": s.fct_ps,
+                "start_ps": s.start_ps,
+                "finish_ps": s.finish_ps,
+                "bytes_acked": s.bytes_acked,
+                "retransmissions": s.retransmissions,
+                "timeouts": s.timeouts,
+                "is_inter_dc": s.is_inter_dc,
+                "aborted": s.aborted,
+            }
+        result = {
+            "shard_id": self.shard_id,
+            "flows": flows,
+            "unfinished": self.unfinished[0],
+            "events_executed": self.sim.events_executed,
+            "now_ps": self.sim.now,
+            # Per-link deliveries summed shard-locally; summing across
+            # shards counts every delivery once (the silent remote half
+            # of each replicated topology contributes zero, and border
+            # captures count only on their egress side).
+            "delivered_pkts": sum(
+                link.delivered_pkts for link in self.topo.net.links
+            ),
+        }
+        if self.boundary is not None:
+            result["boundary_sent"] = dict(self.boundary.sent)
+            result["boundary_injected"] = dict(self.boundary.injected)
+        return result
+
+
+def _build_shard(workload: TwoDCWorkload, shard_id: int) -> ShardWorld:
+    """Module-level shard factory (picklable for worker processes)."""
+    return ShardWorld(workload, shard_id)
+
+
+def run_single(workload: TwoDCWorkload) -> Dict[str, Any]:
+    """Single-engine reference run of the pinned workload."""
+    world = ShardWorld(workload)
+    t0 = time.perf_counter()
+    cpu0 = time.process_time()
+    world.sim.run(until=world.horizon_ps)
+    result = world.collect()
+    result.update(
+        wall_s=time.perf_counter() - t0,
+        busy_cpu_s=time.process_time() - cpu0,
+        shards=1,
+        rounds=0,
+        total_events=world.sim.events_executed,
+        violations=[],
+        flows_by_shard=[result["flows"]],
+    )
+    return result
+
+
+def run_sharded(
+    workload: TwoDCWorkload = TwoDCWorkload(),
+    shards: int = 2,
+    processes: bool = True,
+) -> Dict[str, Any]:
+    """Run the pinned two-DC workload on ``shards`` engines.
+
+    ``shards=1`` is the single-engine baseline; ``shards=2`` cuts at the
+    border links, one engine per DC, synchronized conservatively with
+    lookahead = border propagation delay. ``processes`` selects one OS
+    process per shard (real parallelism) vs inline stepping (used by the
+    deterministic equivalence tests). Returns a flat summary: merged
+    per-flow results under ``"flows"``, per-shard dicts under
+    ``"shard_results"``, sync ``rounds``, conservation ``violations``
+    and timing (``wall_s``, per-shard ``busy_cpu_s``).
+    """
+    if shards not in SUPPORTED_SHARDS:
+        raise ValueError(
+            f"shards must be one of {SUPPORTED_SHARDS}, got {shards}"
+        )
+    if shards == 1:
+        return run_single(workload)
+    factory = partial(_build_shard, workload)
+    t0 = time.perf_counter()
+    if processes:
+        adapters = [ProcessShard(factory, k) for k in range(shards)]
+    else:
+        adapters = [InlineShard(factory(k)) for k in range(shards)]
+    try:
+        coord = ConservativeCoordinator(
+            adapters, horizon_ps=workload.horizon_ps
+        )
+        summary = coord.run()
+    finally:
+        for adapter in adapters:
+            adapter.close()
+    wall = time.perf_counter() - t0
+    shard_results = summary["shards"]
+    flows: Dict[int, Dict[str, Any]] = {}
+    for res in shard_results:
+        flows.update(res["flows"])
+    return {
+        "shards": shards,
+        "processes": processes,
+        "flows": flows,
+        "flows_by_shard": [res["flows"] for res in shard_results],
+        "shard_results": shard_results,
+        "unfinished": sum(res["unfinished"] for res in shard_results),
+        "rounds": summary["rounds"],
+        "total_events": summary["total_events"],
+        "delivered_pkts": sum(
+            res["delivered_pkts"] for res in shard_results
+        ),
+        "lookahead_ps": summary["lookahead_ps"],
+        "stranded_pkts": summary["stranded_pkts"],
+        "violations": summary["violations"],
+        "wall_s": wall,
+        "busy_cpu_s": max(res["busy_cpu_s"] for res in shard_results),
+        "busy_cpu_by_shard": [res["busy_cpu_s"] for res in shard_results],
+    }
+
+
+def check_equivalence(
+    workload: TwoDCWorkload = TwoDCWorkload(),
+    processes: bool = False,
+) -> Dict[str, Any]:
+    """Run 1-shard and 2-shard and diff flow-level outcomes.
+
+    Equivalence means: identical flow-id sets, and per flow identical
+    FCT, retransmission count, timeout count and bytes acked. Returns a
+    report with ``"equivalent"``, the ``"mismatches"`` list (flow id ->
+    differing fields) and both raw summaries.
+    """
+    single = run_sharded(workload, shards=1)
+    sharded = run_sharded(workload, shards=2, processes=processes)
+    mismatches: List[str] = []
+    f1, f2 = single["flows"], sharded["flows"]
+    for flow_id in sorted(set(f1) | set(f2)):
+        a, b = f1.get(flow_id), f2.get(flow_id)
+        if a is None or b is None:
+            mismatches.append(
+                f"flow {flow_id}: present only in "
+                f"{'single' if b is None else 'sharded'} run"
+            )
+            continue
+        for key in ("fct_ps", "retransmissions", "timeouts", "bytes_acked"):
+            if a[key] != b[key]:
+                mismatches.append(
+                    f"flow {flow_id}: {key} {a[key]} (single) != "
+                    f"{b[key]} (sharded)"
+                )
+    return {
+        "equivalent": not mismatches and not sharded["violations"],
+        "mismatches": mismatches,
+        "violations": sharded["violations"],
+        "flows": len(f1),
+        "single": single,
+        "sharded": sharded,
+    }

@@ -12,9 +12,13 @@ The subpackage is organized bottom-up:
 - :mod:`repro.sim.network`  -- wiring, route computation, top-level container.
 - :mod:`repro.sim.trace`    -- monitors (queue occupancy, flow rates, drops).
 - :mod:`repro.sim.failures` -- link failure schedules and correlated loss models.
+- :mod:`repro.sim.boundary` -- the PacketSink cross-component handoff protocol.
+- :mod:`repro.sim.shard`    -- shard boundaries + conservative parallel sync.
 """
 
+from repro.sim.boundary import PacketSink, WiringError
 from repro.sim.engine import Simulator, EventHandle
+from repro.sim.shard import ShardBoundary
 from repro.sim.packet import Packet, DATA, ACK, NACK
 from repro.sim.units import (
     NS,
@@ -35,6 +39,9 @@ from repro.sim.switch import Switch
 from repro.sim.host import Host
 
 __all__ = [
+    "PacketSink",
+    "WiringError",
+    "ShardBoundary",
     "Simulator",
     "EventHandle",
     "Packet",

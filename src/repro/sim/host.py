@@ -142,9 +142,15 @@ class Host(FailureDomain):
         return self._uplink
 
     def send(self, pkt: Packet) -> None:
-        (self._uplink or self.uplink).enqueue(pkt)
+        """Offer ``pkt`` to the NIC egress queue (the uplink port sink)."""
+        (self._uplink or self.uplink).receive(pkt)
 
     def receive(self, pkt: Packet) -> None:
+        """Dispatch an arriving packet to its flow's registered endpoint.
+
+        The host's :class:`~repro.sim.boundary.PacketSink` entry point;
+        the access link delivers here.
+        """
         if not self.up:
             self._count_down_drop()
             return

@@ -26,6 +26,7 @@ from collections import deque
 from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.sim.boundary import PacketSink, WiringError, check_sink
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,7 +47,7 @@ class Link:
         "gbps",
         "prop_ps",
         "src",
-        "dst",
+        "_sink",
         "up",
         "loss_model",
         "delivered_pkts",
@@ -78,7 +79,7 @@ class Link:
         self.gbps = gbps
         self.prop_ps = prop_ps
         self.src = None  # sending node; wired by Network (node failure domains)
-        self.dst = None  # node with .receive(pkt); wired by Network
+        self._sink = None  # delivery PacketSink; wired once via connect()
         self.up = True
         # Called with this link after every up/down transition; the
         # owning Network uses it to patch next-hop tables (failure-aware
@@ -112,14 +113,45 @@ class Link:
         registry.gauge(f"{base}.failures", lambda: self.failures)
         registry.gauge(f"{base}.up", lambda: self.up)
 
+    # -- wiring ----------------------------------------------------------
+
+    def connect(self, sink: "PacketSink") -> "Link":
+        """Wire the delivery sink (normally the peer node), exactly once.
+
+        Raises :class:`~repro.sim.boundary.WiringError` on double-wiring
+        or a non-sink argument; returns the link for chaining. The sink is
+        immutable afterwards — cross-shard cuts divert at the feeding
+        :class:`~repro.sim.queues.Port`, not here, so a link's delivery
+        target always matches its name.
+        """
+        if self._sink is not None:
+            raise WiringError(
+                f"link {self.name}: already connected to {self._sink!r}"
+            )
+        self._sink = check_sink(sink, f"link {self.name}.connect")
+        return self
+
+    @property
+    def dst(self) -> Optional["PacketSink"]:
+        """The delivery sink wired by :meth:`connect` (the peer node)."""
+        return self._sink
+
     @property
     def inflight_pkts(self) -> int:
         """Packets currently propagating (coalesced path only)."""
         return len(self._inflight)
 
     def transmit(self, pkt: Packet) -> None:
-        """Called by the port when serialization completes."""
+        """Called by the port when serialization completes.
+
+        This is the link's :class:`~repro.sim.boundary.PacketSink`
+        entry point (aliased as ``receive``).
+        """
         sim = self.sim
+        if self._sink is None:
+            raise WiringError(
+                f"link {self.name}: transmit before connect() wired a sink"
+            )
         if not self.up:
             self.failed_drops += 1
             self._emit_failed_drop(pkt, sim.now)
@@ -162,11 +194,11 @@ class Link:
         now = sim.now
         q = self._inflight
         self._drain_armed = False
-        dst = self.dst
+        sink = self._sink
         while q and q[0][0] <= now:
             pkt = q.popleft()[2]
             self.delivered_pkts += 1
-            dst.receive(pkt)
+            sink.receive(pkt)
         if q:
             t, s, _ = q[0]
             self._drain_armed = True
@@ -183,7 +215,7 @@ class Link:
             self._emit_failed_drop(pkt, self.sim.now)
             return
         self.delivered_pkts += 1
-        self.dst.receive(pkt)
+        self._sink.receive(pkt)
 
     def _emit_failed_drop(self, pkt: Packet, now: int) -> None:
         ev = self._events
@@ -243,6 +275,10 @@ class Link:
                 ev.emit("failure", "link_up", t=self.sim.now, link=self.name)
         if self.on_state_change is not None:
             self.on_state_change(self)
+
+    # PacketSink conformance: handing a packet to a link means "start
+    # propagating it" — the same entry the feeding port calls.
+    receive = transmit
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "up" if self.up else "DOWN"

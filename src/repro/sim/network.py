@@ -153,9 +153,9 @@ class Network:
         link_ab = Link(self.sim, gbps, prop_ps, name=f"{a.name}->{b.name}{suffix}")
         link_ba = Link(self.sim, gbps, prop_ps, name=f"{b.name}->{a.name}{suffix}")
         link_ab.src = a
-        link_ab.dst = b
+        link_ab.connect(b)
         link_ba.src = b
-        link_ba.dst = a
+        link_ba.connect(a)
         # Both directions of the cable belong to both endpoints' failure
         # domains: either node crashing takes the whole cable down.
         a.attached_links.extend((link_ab, link_ba))

@@ -24,6 +24,7 @@ from heapq import heappush
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.boundary import PacketSink, check_sink
 from repro.sim.packet import Packet
 from repro.sim.units import gbps_to_bytes_per_ps
 
@@ -135,6 +136,7 @@ class Port:
     __slots__ = (
         "sim",
         "link",
+        "_sink",
         "name",
         "capacity_bytes",
         "red",
@@ -176,6 +178,9 @@ class Port:
             raise ValueError("queue capacity must be positive")
         self.sim = sim
         self.link = link
+        # Downstream PacketSink fed by _finish_tx. Defaults to the link;
+        # shard boundaries re-route it through divert().
+        self._sink = link
         self.name = name or f"port->{link.name}"
         self.capacity_bytes = capacity_bytes
         self.red = red or REDConfig()
@@ -252,6 +257,22 @@ class Port:
         span = self._red_span
         p = (occupancy_before - self._red_min_th) / span if span > 0 else 1.0
         return self._rng.random() < p
+
+    # -- wiring ----------------------------------------------------------
+
+    def divert(self, sink: "PacketSink") -> "PacketSink":
+        """Replace the downstream sink; returns the previous one.
+
+        The sanctioned rewiring point of the handoff boundary: serialized
+        packets flow to ``sink.receive`` instead of the port's link. Shard
+        boundaries use it to capture cross-cut traffic at transmit time
+        (so loss-model draws and telemetry on the original link are
+        bypassed together — the far shard replays delivery). Normal
+        topology wiring never calls this.
+        """
+        old = self._sink
+        self._sink = check_sink(sink, f"port {self.name}.divert")
+        return old
 
     # -- datapath --------------------------------------------------------
 
@@ -335,7 +356,7 @@ class Port:
         self.tx_bytes += size
         if self.int_t_ref_ps is not None:
             self._stamp_int(pkt)
-        self.link.transmit(pkt)
+        self._sink.receive(pkt)
         if fifo:
             # Back-to-back serialization: re-arm the one tx event for the
             # next head (allocation-free; same (time, seq) the per-packet
@@ -367,6 +388,10 @@ class Port:
         )
         if util > pkt.int_util:
             pkt.int_util = util
+
+    # PacketSink conformance: handing a packet to a port means offering
+    # it to the egress queue (upstream callers ignore the drop bool).
+    receive = enqueue
 
     # -- introspection ---------------------------------------------------
 

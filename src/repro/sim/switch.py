@@ -144,6 +144,12 @@ class Switch(FailureDomain):
         self.mode = mode
 
     def receive(self, pkt: Packet) -> None:
+        """Forward ``pkt`` toward its destination host.
+
+        The switch's :class:`~repro.sim.boundary.PacketSink` entry point:
+        links deliver here, and the chosen egress port is handed the
+        packet through its own ``receive``.
+        """
         if not self.up:
             # A crashed switch neither forwards nor buffers. Reachable
             # only when a cable into the dead node is up (e.g. restored
@@ -194,7 +200,7 @@ class Switch(FailureDomain):
             and port.bytes_queued > qcn.threshold_bytes
         ):
             self._maybe_send_cnp(pkt)
-        port.enqueue(pkt)
+        port.receive(pkt)
 
     def _maybe_send_cnp(self, pkt: Packet) -> None:
         now = self.sim.now

@@ -828,7 +828,9 @@ def start_flow(
     sender.receiver = receiver  # type: ignore[attr-defined]
     when = sim.now if start_ps is None else start_ps
     sender.stats.start_ps = when
-    sim.at(when, sender.start)
+    # The start handle is kept on the sender so shard workers can
+    # deactivate flows owned by another shard before they ever run.
+    sender.start_handle = sim.at(when, sender.start)
     return sender
 
 

@@ -1,8 +1,12 @@
-"""API-surface quality gates: docstrings and import hygiene."""
+"""API-surface quality gates: docstrings, import hygiene, and the
+packet-handoff boundary (every cross-component handoff goes through the
+PacketSink protocol — no reaching into another component's internals)."""
 
 import importlib
 import inspect
+import pathlib
 import pkgutil
+import re
 
 import pytest
 
@@ -66,3 +70,66 @@ class TestImportHygiene:
 
     def test_version_string(self):
         assert repro.__version__.count(".") == 2
+
+
+class TestPacketBoundary:
+    """The PacketSink protocol is the only cross-component handoff path."""
+
+    def test_every_forwarding_component_is_a_packet_sink(self):
+        from repro.sim import Host, Link, PacketSink, Port, Switch
+        from repro.sim.engine import Simulator
+        from repro.sim.shard import BoundaryEgress, ShardBoundary
+
+        sim = Simulator()
+        link = Link(sim, 100.0, 1000)
+        for cls, instance in [
+            (Link, link),
+            (Port, Port(sim, link, capacity_bytes=64 * 1024)),
+            (Switch, Switch(sim, 0, "sw0")),
+            (Host, Host(sim, 1, "h0")),
+            (BoundaryEgress, BoundaryEgress(ShardBoundary(sim, 0), link)),
+        ]:
+            assert isinstance(instance, PacketSink), cls.__name__
+
+    def test_public_entry_points_are_exported(self):
+        import repro.experiments as experiments
+        import repro.sim as sim_pkg
+
+        for name in ("PacketSink", "WiringError", "ShardBoundary"):
+            assert name in sim_pkg.__all__
+        for name in ("TwoDCWorkload", "run_sharded", "check_equivalence"):
+            assert name in experiments.__all__
+
+    def test_no_handoffs_bypass_the_sink_protocol(self):
+        """No cross-component packet handoff may poke a peer's internals.
+
+        Outside the sink implementations themselves, source code must not
+        call another component's ``.enqueue()`` / ``.transmit()`` directly
+        (the sanctioned spelling is ``.receive()``) nor rewire a link by
+        assigning ``.dst`` (the sanctioned spelling is ``.connect()``).
+        """
+        src = pathlib.Path(repro.__file__).resolve().parent
+        # The sink implementations and the boundary layer itself define
+        # these operations; everyone else must go through receive().
+        allowed = {"sim/link.py", "sim/queues.py", "sim/boundary.py",
+                   "sim/shard.py"}
+        bypasses = []
+        patterns = [
+            # Link rewiring (self.dst = ... is a component initialising
+            # its own address field, e.g. Packet.dst — that's fine).
+            re.compile(r"(?<!self)\.dst\s*=[^=]"),
+            re.compile(r"\w+\.port\.enqueue\("),   # reaching into a switch
+            re.compile(r"\w+\.link\.transmit\("),  # reaching past a port
+            re.compile(r"\.dst\.receive\("),       # reaching past a link
+        ]
+        for path in sorted(src.rglob("*.py")):
+            rel = path.relative_to(src).as_posix()
+            if rel in allowed:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if any(p.search(line) for p in patterns):
+                    bypasses.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not bypasses, (
+            "cross-component handoffs bypassing PacketSink:\n"
+            + "\n".join(bypasses)
+        )

@@ -23,7 +23,7 @@ class TestPropagation:
         sim = Simulator()
         link = Link(sim, 100.0, prop_ps=5 * US)
         sink = Sink()
-        link.dst = sink
+        link.connect(sink)
         sim.at(0, link.transmit, pkt())
         sim.run()
         assert sim.now == 5 * US
@@ -43,7 +43,7 @@ class TestFailure:
         sim = Simulator()
         link = Link(sim, 100.0, 1 * US)
         sink = Sink()
-        link.dst = sink
+        link.connect(sink)
         link.fail()
         link.transmit(pkt())
         sim.run()
@@ -54,7 +54,7 @@ class TestFailure:
         sim = Simulator()
         link = Link(sim, 100.0, 10 * US)
         sink = Sink()
-        link.dst = sink
+        link.connect(sink)
         sim.at(0, link.transmit, pkt())
         sim.at(5 * US, link.fail)  # while the packet is propagating
         sim.run()
@@ -65,7 +65,7 @@ class TestFailure:
         sim = Simulator()
         link = Link(sim, 100.0, 1 * US)
         sink = Sink()
-        link.dst = sink
+        link.connect(sink)
         link.fail()
         link.restore()
         link.transmit(pkt())
@@ -78,7 +78,7 @@ class TestLossModel:
         sim = Simulator()
         link = Link(sim, 100.0, 1 * US)
         sink = Sink()
-        link.dst = sink
+        link.connect(sink)
         link.loss_model = lambda p, now: p.seq % 2 == 0
         for i in range(6):
             link.transmit(pkt(seq=i))

@@ -142,7 +142,7 @@ class TestLinkCoalescing:
     def test_single_armed_event_many_inflight(self):
         sim = Simulator()
         link = Link(sim, 100.0, prop_ps=5 * US)
-        link.dst = _Sink()
+        link.connect(_Sink())
         for seq in range(10):
             link.transmit(_data(seq))
             sim.run(until=sim.now + 10)  # distinct transmit times
@@ -157,7 +157,7 @@ class TestLinkCoalescing:
         sim = Simulator()
         bundle = enable(sim, event_topics="all", profile=False)
         link = Link(sim, 100.0, prop_ps=5 * US, name="l")
-        link.dst = _Sink()
+        link.connect(_Sink())
         link.transmit(_data(0))
         link.transmit(_data(1))
         sim.run(until=2 * US)
@@ -172,7 +172,7 @@ class TestLinkCoalescing:
         sim = Simulator()
         bundle = enable(sim, event_topics="all", profile=False)
         link = Link(sim, 100.0, prop_ps=5 * US, name="l")
-        link.dst = _Sink()
+        link.connect(_Sink())
         link.fail()
         link.transmit(_data(3))
         assert link.failed_drops == 1
@@ -186,7 +186,7 @@ class TestLinkCoalescing:
         sim = Simulator()
         bundle = enable(sim, event_topics="all", profile=False)
         link = Link(sim, 100.0, prop_ps=5 * US, name="l")
-        link.dst = _Sink()
+        link.connect(_Sink())
         link.transmit(_data(9))
         sim.run(until=2 * US)
         link.fail()
@@ -198,7 +198,7 @@ class TestLinkCoalescing:
     def test_restore_after_fail_delivers_again(self):
         sim = Simulator()
         link = Link(sim, 100.0, prop_ps=5 * US)
-        link.dst = _Sink()
+        link.connect(_Sink())
         link.transmit(_data(0))
         sim.run(until=1 * US)
         link.fail()

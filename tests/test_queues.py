@@ -20,7 +20,7 @@ class Sink:
 def make_port(sim, capacity=100_000, red=None, phantom=None, gbps=100.0, prop=0):
     link = Link(sim, gbps, prop, name="test")
     sink = Sink()
-    link.dst = sink
+    link.connect(sink)
     port = Port(sim, link, capacity_bytes=capacity, red=red, phantom=phantom,
                 rng=random.Random(1))
     return port, sink

@@ -148,7 +148,15 @@ def execute_point(point: ExperimentPoint) -> Dict[str, Any]:
 # for it with ``run_all --shards`` and tests drive it directly. The
 # implementation lives in :mod:`repro.experiments.sharded`.
 from repro.experiments.sharded import (  # noqa: E402  (re-export)
+    SHARD_TRACE_TOPICS,
     TwoDCWorkload,
     check_equivalence,
     run_sharded,
+)
+
+# So is the campaign progress stream: run_all writes it, the dashboard
+# tails it, and experiment drivers can pass one to ``run_points``.
+from repro.experiments.progress import (  # noqa: E402  (re-export)
+    CAMPAIGN_STREAM_NAME,
+    CampaignStream,
 )

@@ -8,9 +8,14 @@ stay machine-readable.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
-from typing import Optional, TextIO
+from typing import Any, Optional, TextIO
+
+#: Filename of the campaign progress stream under ``<out>/telemetry/``
+#: (one JSONL line per campaign transition; tools/dashboard.py tails it).
+CAMPAIGN_STREAM_NAME = "campaign.jsonl"
 
 
 def format_duration(seconds: float) -> str:
@@ -65,3 +70,64 @@ class ProgressPrinter:
             f"{format_duration(wall)} ({status})",
             file=self.stream, flush=True,
         )
+
+
+class CampaignStream:
+    """Machine-readable campaign progress: one JSON object per line.
+
+    The live half of the dashboard story: ``run_all --telemetry`` opens
+    one stream per campaign at ``<out>/telemetry/campaign.jsonl`` and
+    the runner appends a line per transition, so ``tools/dashboard.py``
+    can tail the file while the campaign is still running. Lines are
+    flushed as written (same crash-safety contract as
+    :class:`~repro.obs.events.JSONLFileSink`) and carry a wall-clock
+    ``ts`` plus a ``kind``:
+
+    - ``campaign_start`` — sweep opened (``total`` points, free-form
+      ``meta``);
+    - ``point`` — one point reached a final state (``status`` ok /
+      error / timeout, ``cached``, ``elapsed_s``);
+    - ``retry`` — a failed point is being re-run (``attempt``);
+    - ``campaign_end`` — sweep closed (``done``/``failed`` totals).
+
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, path, clock=time.time):
+        self.path = path
+        self._clock = clock
+        self._fh = open(path, "w", encoding="utf-8", buffering=1)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        line = {"kind": kind, "ts": round(self._clock(), 3)}
+        line.update(fields)
+        self._fh.write(json.dumps(line, sort_keys=True,
+                                  separators=(",", ":")))
+        self._fh.write("\n")
+
+    def campaign_start(self, total: int, **meta: Any) -> None:
+        self.emit("campaign_start", total=total, **meta)
+
+    def point(self, point_id: str, status: str, elapsed_s: float,
+              cached: bool = False) -> None:
+        self.emit("point", point=point_id, status=status,
+                  elapsed_s=round(elapsed_s, 3), cached=cached)
+
+    def retry(self, point_id: str, attempt: int, status: str) -> None:
+        self.emit("retry", point=point_id, attempt=attempt, status=status)
+
+    def campaign_end(self, done: int, failed: int, **fields: Any) -> None:
+        self.emit("campaign_end", done=done, failed=failed, **fields)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

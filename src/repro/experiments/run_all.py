@@ -18,6 +18,13 @@ simulators the point built, written to
 ``<out>/telemetry/<experiment>/<point-file>.json`` plus one aggregated
 ``<out>/telemetry/<experiment>/summary.json`` per experiment. Points
 served from the cache did not run and therefore carry no telemetry.
+Every telemetry campaign also streams its progress line-by-line to
+``<out>/telemetry/campaign.jsonl`` — ``tools/dashboard.py <out>`` tails
+it live and ``--html`` renders the static report. Combined with
+``--shards 2``, telemetry turns on shard-tagged tracing: per-worker
+JSONL traces, the canonical merged ``telemetry/sharded/trace.jsonl``
+and a merged-registry ``telemetry/sharded/summary.json``, with the exit
+gate extended to trace conservation and cross-shard span stitching.
 
 ``--retries N`` re-runs points that errored or timed out up to N extra
 times (jittered exponential backoff between passes); the failure record
@@ -52,7 +59,22 @@ from typing import List, Optional
 
 from repro.experiments.api import EXPERIMENTS, canonical_json, experiment_module
 from repro.experiments.cache import ResultCache
+from repro.experiments.progress import CAMPAIGN_STREAM_NAME, CampaignStream
 from repro.experiments.runner import failures, results_by_name, run_points
+
+
+def _open_stream(args, out: Path, campaign: str,
+                 total: int) -> Optional[CampaignStream]:
+    """With ``--telemetry``, open the tailable campaign progress stream
+    at ``<out>/telemetry/campaign.jsonl`` (the file tools/dashboard.py
+    follows while the campaign runs)."""
+    if not args.telemetry:
+        return None
+    telemetry_dir = out / "telemetry"
+    telemetry_dir.mkdir(parents=True, exist_ok=True)
+    stream = CampaignStream(telemetry_dir / CAMPAIGN_STREAM_NAME)
+    stream.campaign_start(total, campaign=campaign, out=str(out))
+    return stream
 
 ALL = list(EXPERIMENTS)
 
@@ -129,11 +151,18 @@ def main(argv: Optional[List[str]] = None) -> None:
     modules = {name: experiment_module(name) for name in targets}
     points = [p for name in targets
               for p in modules[name].points(quick, seed=args.seed)]
-    records = run_points(
-        points, jobs=args.jobs, cache=cache, resume=args.resume,
-        timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
-        retries=args.retries,
-    )
+    stream = _open_stream(args, out, "experiments", len(points))
+    try:
+        records = run_points(
+            points, jobs=args.jobs, cache=cache, resume=args.resume,
+            timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
+            retries=args.retries, stream=stream,
+        )
+        if stream is not None:
+            stream.campaign_end(len(records), len(failures(records)))
+    finally:
+        if stream is not None:
+            stream.close()
 
     if args.telemetry:
         write_telemetry(out / "telemetry", records, cache)
@@ -180,11 +209,18 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
         )
     except ValueError as exc:
         parser.error(str(exc))
-    records = run_points(
-        points, jobs=args.jobs, cache=cache, resume=args.resume,
-        timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
-        retries=args.retries,
-    )
+    stream = _open_stream(args, out, f"chaos-{args.chaos}", len(points))
+    try:
+        records = run_points(
+            points, jobs=args.jobs, cache=cache, resume=args.resume,
+            timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
+            retries=args.retries, stream=stream,
+        )
+        if stream is not None:
+            stream.campaign_end(len(records), len(failures(records)))
+    finally:
+        if stream is not None:
+            stream.close()
     if args.telemetry:
         write_telemetry(out / "telemetry", records, cache)
 
@@ -220,6 +256,15 @@ def run_sharded_campaign(args, parser, quick: bool, out: Path) -> None:
     timeouts, bytes acked) against the single-engine reference run.
     Writes ``<out>/summaries/sharded-two-dc.json``; exits non-zero on
     any flow-level mismatch or cross-shard conservation violation.
+
+    With ``--telemetry`` the sharded leg additionally produces, under
+    ``<out>/telemetry/sharded/``: per-worker shard-tagged JSONL traces
+    (``workers/shard-K.jsonl``), the canonical ps-ordered merged trace
+    (``trace.jsonl``), and ``summary.json`` holding merged + per-shard
+    metric registries, aggregator conservation accounting, and the flow
+    ids whose span timelines were stitched across both shards. The gate
+    then also fails on any trace conservation violation or if no
+    cross-boundary flow was stitched.
     """
     from repro.experiments.sharded import (
         SUPPORTED_SHARDS, TwoDCWorkload, check_equivalence,
@@ -232,14 +277,50 @@ def run_sharded_campaign(args, parser, quick: bool, out: Path) -> None:
         seed=args.seed if args.seed is not None else 1,
         max_flows=400 if quick else 2000,
     )
-    report = check_equivalence(workload, processes=True)
-    sharded = report["sharded"]
-    single = report["single"]
+    trace_dir = trace_path = None
+    sharded_dir = out / "telemetry" / "sharded"
+    if args.telemetry:
+        sharded_dir.mkdir(parents=True, exist_ok=True)
+        trace_dir = str(sharded_dir / "workers")
+        trace_path = str(sharded_dir / "trace.jsonl")
+    stream = _open_stream(args, out, "sharded-two-dc", 1)
+    try:
+        report = check_equivalence(
+            workload, processes=True, telemetry=args.telemetry,
+            trace_dir=trace_dir, trace_path=trace_path,
+        )
+        sharded = report["sharded"]
+        single = report["single"]
+        trace_violations = sharded.get("trace_violations", [])
+        stitched: List[int] = []
+        if args.telemetry:
+            from repro.obs import cross_shard_flows
+
+            trace = sharded["_trace"]
+            stitched = cross_shard_flows(trace.merged())
+            (sharded_dir / "summary.json").write_text(_summary_json({
+                "telemetry": sharded["telemetry"],
+                "trace": sharded["trace_summary"],
+                "trace_violations": trace_violations,
+                "cross_shard_flows": stitched,
+            }) + "\n")
+        gate_ok = (report["equivalent"] and not trace_violations
+                   and (not args.telemetry or bool(stitched)))
+        if stream is not None:
+            stream.point("sharded/two-dc-equivalence",
+                         "ok" if gate_ok else "error",
+                         sharded["wall_s"] + single["wall_s"])
+            stream.campaign_end(1, 0 if gate_ok else 1)
+    finally:
+        if stream is not None:
+            stream.close()
     summary = {
         "equivalent": report["equivalent"],
         "flows": report["flows"],
         "mismatches": report["mismatches"],
         "violations": report["violations"],
+        "trace_violations": trace_violations,
+        "cross_shard_flows": len(stitched),
         "shards": args.shards,
         "rounds": sharded["rounds"],
         "lookahead_ps": sharded["lookahead_ps"],
@@ -258,11 +339,17 @@ def run_sharded_campaign(args, parser, quick: bool, out: Path) -> None:
     print(f"[sharded two-DC: {status} over {report['flows']} flows, "
           f"{sharded['rounds']} sync rounds, "
           f"{sharded['total_events']} events]")
+    if args.telemetry:
+        print(f"[sharded trace: {sharded['trace_summary']['events_merged']} "
+              f"events merged, {len(trace_violations)} conservation "
+              f"violations, {len(stitched)} cross-shard flows stitched]")
     for line in report["mismatches"][:20]:
         print(f"  {line}", file=sys.stderr)
     for line in report["violations"]:
         print(f"  {line}", file=sys.stderr)
-    if not report["equivalent"]:
+    for line in trace_violations:
+        print(f"  {line}", file=sys.stderr)
+    if not gate_ok:
         raise SystemExit(1)
 
 

@@ -40,7 +40,7 @@ from repro.experiments.api import (
     experiment_module,
 )
 from repro.experiments.cache import ResultCache
-from repro.experiments.progress import ProgressPrinter
+from repro.experiments.progress import CampaignStream, ProgressPrinter
 from repro.obs import TelemetryContext
 
 _POLL_S = 0.02
@@ -79,6 +79,7 @@ def run_points(
     telemetry: bool = False,
     retries: int = 0,
     retry_backoff_s: float = 0.5,
+    stream: Optional[CampaignStream] = None,
 ) -> List[PointRecord]:
     """Execute every point; returns one record per point, input order.
 
@@ -92,7 +93,9 @@ def run_points(
     extra times with jittered exponential backoff (base
     ``retry_backoff_s``) before the failure sticks; the failure record —
     in memory and in the cache's ``.error.json`` — keeps every attempt's
-    traceback.
+    traceback. ``stream`` mirrors every final point outcome (and every
+    retry announcement) into a tailable
+    :class:`~repro.experiments.progress.CampaignStream`.
     """
     points = list(points)
     if jobs < 1:
@@ -117,6 +120,8 @@ def run_points(
             records[i] = PointRecord(point, "ok", result=hit, cached=True)
             if printer:
                 printer.update(point.id, "ok", 0.0, cached=True)
+            if stream is not None:
+                stream.point(point.id, "ok", 0.0, cached=True)
         else:
             todo.append(i)
 
@@ -128,10 +133,10 @@ def run_points(
         final = attempt >= retries
         if jobs == 1 and timeout_s is None:
             _run_inline(points, remaining, records, cache, printer,
-                        telemetry, final)
+                        telemetry, final, stream)
         else:
             _run_pool(points, remaining, records, cache, printer, jobs,
-                      timeout_s, telemetry, final)
+                      timeout_s, telemetry, final, stream)
         failed = []
         for i in remaining:
             record = records[i]
@@ -147,6 +152,9 @@ def run_points(
         if final or not failed:
             break
         attempt += 1
+        if stream is not None:
+            for i in failed:
+                stream.retry(points[i].id, attempt, records[i].status)
         remaining = failed
         delay = retry_backoff_s * (2 ** (attempt - 1))
         time.sleep(delay * (0.5 + jitter.random()))
@@ -165,14 +173,14 @@ def run_points(
 
 
 def _run_inline(points, todo, records, cache, printer, telemetry,
-                final=True) -> None:
+                final=True, stream=None) -> None:
     for i in todo:
         point = points[i]
         t0 = time.monotonic()
         record, telem = _execute_one(point, telemetry)
         record.elapsed_s = time.monotonic() - t0
         record.telemetry = telem
-        _commit(record, records, i, cache, printer, final)
+        _commit(record, records, i, cache, printer, final, stream)
 
 
 def _execute_one(point, telemetry):
@@ -192,7 +200,7 @@ def _execute_one(point, telemetry):
 
 
 def _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
-              telemetry=False, final=True) -> None:
+              telemetry=False, final=True, stream=None) -> None:
     ctx = multiprocessing.get_context()
     pending = list(todo)
     running: Dict[Any, tuple] = {}  # proc -> (index, conn, t0)
@@ -212,7 +220,7 @@ def _run_pool(points, todo, records, cache, printer, jobs, timeout_s,
                 if record is None:
                     continue
                 del running[proc]
-                _commit(record, records, i, cache, printer, final)
+                _commit(record, records, i, cache, printer, final, stream)
             if running:
                 time.sleep(_POLL_S)
     finally:
@@ -291,17 +299,22 @@ def _error_info(exc: BaseException) -> Dict[str, str]:
     }
 
 
-def _commit(record, records, i, cache, printer, final=True) -> None:
+def _commit(record, records, i, cache, printer, final=True,
+            stream=None) -> None:
     """Record one attempt's outcome. Successes are cached immediately;
     failures are only *final* on the last retry pass — `run_points`
     commits those (with the full attempt history) after the loop, and
-    non-final failures stay off the printer so each point prints once."""
+    non-final failures stay off the printer (and the campaign stream)
+    so each point lands exactly once."""
     records[i] = record
     if cache is not None and not record.cached and record.ok:
         cache.store(record.point, record.result)
     if printer and (final or record.ok):
         printer.update(record.point.id, record.status, record.elapsed_s,
                        cached=record.cached)
+    if stream is not None and (final or record.ok):
+        stream.point(record.point.id, record.status, record.elapsed_s,
+                     cached=record.cached)
 
 
 # ----------------------------------------------------------------------

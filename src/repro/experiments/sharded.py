@@ -38,6 +38,12 @@ from repro.sim.shard import (
 #: The only shard counts run_sharded accepts (the cut is per-DC).
 SUPPORTED_SHARDS = (1, 2)
 
+#: Event topics shard workers trace when telemetry is on. Lifecycle-level
+#: only: per-packet topics (ack/queue/cwnd/epoch) would swamp the window
+#: pipe with ~1e2 events per flow per RTT; these stay readable at any
+#: flow count and are exactly what the dashboard and stitching need.
+SHARD_TRACE_TOPICS = ("span", "flow", "failure", "route", "invariant")
+
 
 @dataclass(frozen=True)
 class TwoDCWorkload:
@@ -61,7 +67,9 @@ class ShardWorld:
     """One shard's (or the single run's) fully-built simulation world."""
 
     def __init__(self, workload: TwoDCWorkload,
-                 shard_id: Optional[int] = None):
+                 shard_id: Optional[int] = None,
+                 telemetry: bool = False,
+                 trace_dir: Optional[str] = None):
         from repro.experiments.harness import (
             ExperimentScale, build_multidc, make_launcher,
         )
@@ -74,6 +82,32 @@ class ShardWorld:
         scale = ExperimentScale.quick()
         self.horizon_ps = workload.horizon_ps
         self.sim = Simulator()
+        # Shard-tagged telemetry: a drainable tap (drained every CMB
+        # window by the shard adapter) plus a crash-safe per-worker JSONL
+        # trace. enable() replaces any ambient-context bundle, so worker
+        # processes never depend on the coordinator's context state.
+        self.tap = None
+        self.obs = None
+        if telemetry:
+            from repro.obs import JSONLFileSink, StreamBufferSink, enable
+
+            self.tap = StreamBufferSink()
+            extra = [self.tap]
+            if trace_dir is not None:
+                import os
+
+                os.makedirs(trace_dir, exist_ok=True)
+                tag = "single" if shard_id is None else f"shard-{shard_id}"
+                extra.append(JSONLFileSink(
+                    os.path.join(trace_dir, f"{tag}.jsonl")
+                ))
+            self.obs = enable(
+                self.sim,
+                event_topics=SHARD_TRACE_TOPICS,
+                profile=False,
+                extra_sinks=extra,
+            )
+            self.obs.set_shard(shard_id)
         params = scale.params()
         self.topo = build_multidc(
             self.sim, workload.scheme, params, scale, seed=workload.seed
@@ -121,17 +155,22 @@ class ShardWorld:
             )
             boundary.cut_egress(port, out_link)
             boundary.open_ingress(in_link)
+        spans = self.obs.spans if self.obs is not None else None
         for sender in self.senders:
             flow_id = sender.flow_id
             if sender.src.dc != shard_id:
                 # Remote sender: never starts here. Its real copy runs in
                 # the shard owning the source host.
                 sender.start_handle.cancel()
-                sender.src.endpoints.pop(flow_id, None)
+                if sender.src.endpoints.pop(flow_id, None) is not None \
+                        and spans is not None:
+                    spans.endpoint_discard(flow_id, sender.src.name)
                 self.unfinished[0] -= 1
             if sender.dst.dc != shard_id:
                 # Remote receiver: drop before any timer lazily arms.
-                sender.dst.endpoints.pop(flow_id, None)
+                if sender.dst.endpoints.pop(flow_id, None) is not None \
+                        and spans is not None:
+                    spans.endpoint_discard(flow_id, sender.dst.name)
 
     # -- results -----------------------------------------------------------
 
@@ -173,21 +212,48 @@ class ShardWorld:
         if self.boundary is not None:
             result["boundary_sent"] = dict(self.boundary.sent)
             result["boundary_injected"] = dict(self.boundary.injected)
+        if self.obs is not None:
+            # Close out still-open spans at the horizon, snapshot the
+            # worker-side registries (the parent merges them — satellite
+            # fix for the coordinator-only --telemetry summary), then
+            # drain whatever the last window's drain did not see.
+            if self.obs.spans is not None:
+                self.obs.spans.flush_open(self.sim.now)
+            result["telemetry"] = self.obs.snapshot()
+            result["events_emitted"] = (
+                self.obs.events.emitted if self.obs.events is not None else 0
+            )
+            if self.tap is not None:
+                result["trace_tail"] = self.tap.drain()
         return result
 
+    def close_telemetry(self) -> None:
+        """Flush and close this world's event sinks (JSONL trace file).
+        Called by the shard worker on every exit path. Idempotent."""
+        if self.obs is not None and self.obs.events is not None:
+            self.obs.events.close()
 
-def _build_shard(workload: TwoDCWorkload, shard_id: int) -> ShardWorld:
+
+def _build_shard(workload: TwoDCWorkload, shard_id: int,
+                 telemetry: bool = False,
+                 trace_dir: Optional[str] = None) -> ShardWorld:
     """Module-level shard factory (picklable for worker processes)."""
-    return ShardWorld(workload, shard_id)
+    return ShardWorld(workload, shard_id, telemetry=telemetry,
+                      trace_dir=trace_dir)
 
 
-def run_single(workload: TwoDCWorkload) -> Dict[str, Any]:
+def run_single(workload: TwoDCWorkload,
+               telemetry: bool = False,
+               trace_dir: Optional[str] = None) -> Dict[str, Any]:
     """Single-engine reference run of the pinned workload."""
-    world = ShardWorld(workload)
+    world = ShardWorld(workload, telemetry=telemetry, trace_dir=trace_dir)
     t0 = time.perf_counter()
     cpu0 = time.process_time()
-    world.sim.run(until=world.horizon_ps)
-    result = world.collect()
+    try:
+        world.sim.run(until=world.horizon_ps)
+        result = world.collect()
+    finally:
+        world.close_telemetry()
     result.update(
         wall_s=time.perf_counter() - t0,
         busy_cpu_s=time.process_time() - cpu0,
@@ -197,6 +263,13 @@ def run_single(workload: TwoDCWorkload) -> Dict[str, Any]:
         violations=[],
         flows_by_shard=[result["flows"]],
     )
+    tail = result.pop("trace_tail", None)
+    if tail is not None:
+        from repro.obs import TraceAggregator
+
+        trace = TraceAggregator()
+        trace.add_events(None, tail)
+        result["_trace"] = trace
     return result
 
 
@@ -204,6 +277,9 @@ def run_sharded(
     workload: TwoDCWorkload = TwoDCWorkload(),
     shards: int = 2,
     processes: bool = True,
+    telemetry: bool = False,
+    trace_dir: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the pinned two-DC workload on ``shards`` engines.
 
@@ -215,14 +291,32 @@ def run_sharded(
     per-flow results under ``"flows"``, per-shard dicts under
     ``"shard_results"``, sync ``rounds``, conservation ``violations``
     and timing (``wall_s``, per-shard ``busy_cpu_s``).
+
+    With ``telemetry=True`` every shard worker traces the lifecycle
+    topics (:data:`SHARD_TRACE_TOPICS`), tagged ``shard=``, streamed to
+    the coordinator each CMB window and merged by a
+    :class:`~repro.obs.stream.TraceAggregator` (returned under
+    ``"_trace"``; written to ``trace_path`` as one canonical ps-ordered
+    JSONL when given; per-worker crash-safe JSONL copies land in
+    ``trace_dir``). Worker metric registries are merged into
+    ``"telemetry"`` (``merged`` + ``by_shard``), and aggregator
+    conservation failures — events a worker emitted that never reached
+    the merged trace — are reported under ``"trace_violations"``.
     """
     if shards not in SUPPORTED_SHARDS:
         raise ValueError(
             f"shards must be one of {SUPPORTED_SHARDS}, got {shards}"
         )
     if shards == 1:
-        return run_single(workload)
-    factory = partial(_build_shard, workload)
+        return run_single(workload, telemetry=telemetry,
+                          trace_dir=trace_dir)
+    factory = partial(_build_shard, workload, telemetry=telemetry,
+                      trace_dir=trace_dir)
+    trace = None
+    if telemetry:
+        from repro.obs import TraceAggregator
+
+        trace = TraceAggregator()
     t0 = time.perf_counter()
     if processes:
         adapters = [ProcessShard(factory, k) for k in range(shards)]
@@ -230,10 +324,13 @@ def run_sharded(
         adapters = [InlineShard(factory(k)) for k in range(shards)]
     try:
         coord = ConservativeCoordinator(
-            adapters, horizon_ps=workload.horizon_ps
+            adapters, horizon_ps=workload.horizon_ps, trace=trace
         )
         summary = coord.run()
     finally:
+        if not processes:
+            for adapter in adapters:
+                adapter.runtime.close_telemetry()
         for adapter in adapters:
             adapter.close()
     wall = time.perf_counter() - t0
@@ -241,7 +338,7 @@ def run_sharded(
     flows: Dict[int, Dict[str, Any]] = {}
     for res in shard_results:
         flows.update(res["flows"])
-    return {
+    result = {
         "shards": shards,
         "processes": processes,
         "flows": flows,
@@ -260,21 +357,45 @@ def run_sharded(
         "busy_cpu_s": max(res["busy_cpu_s"] for res in shard_results),
         "busy_cpu_by_shard": [res["busy_cpu_s"] for res in shard_results],
     }
+    if trace is not None:
+        from repro.obs import merge_shard_snapshots
+
+        emitted_by_shard = {
+            res["shard_id"]: res.get("events_emitted", 0)
+            for res in shard_results
+        }
+        result["trace_violations"] = trace.conservation(emitted_by_shard)
+        result["trace_summary"] = trace.summary()
+        result["telemetry"] = merge_shard_snapshots({
+            res["shard_id"]: res.get("telemetry", {})
+            for res in shard_results
+        })
+        if trace_path is not None:
+            trace.write(trace_path)
+        result["_trace"] = trace
+    return result
 
 
 def check_equivalence(
     workload: TwoDCWorkload = TwoDCWorkload(),
     processes: bool = False,
+    telemetry: bool = False,
+    trace_dir: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run 1-shard and 2-shard and diff flow-level outcomes.
 
     Equivalence means: identical flow-id sets, and per flow identical
     FCT, retransmission count, timeout count and bytes acked. Returns a
     report with ``"equivalent"``, the ``"mismatches"`` list (flow id ->
-    differing fields) and both raw summaries.
+    differing fields) and both raw summaries. Telemetry options apply to
+    the sharded leg (the single-engine reference stays untraced, keeping
+    it the byte-identical baseline).
     """
     single = run_sharded(workload, shards=1)
-    sharded = run_sharded(workload, shards=2, processes=processes)
+    sharded = run_sharded(workload, shards=2, processes=processes,
+                          telemetry=telemetry, trace_dir=trace_dir,
+                          trace_path=trace_path)
     mismatches: List[str] = []
     f1, f2 = single["flows"], sharded["flows"]
     for flow_id in sorted(set(f1) | set(f2)):

@@ -41,6 +41,7 @@ TOPICS = (
     "route",      # LB repath decisions, next-hop patches, no-route drops
     "flow",       # flow start / completion
     "invariant",  # chaos-campaign invariant violations
+    "span",       # closed flow-lifecycle spans (repro.obs.spans)
 )
 
 
@@ -63,21 +64,38 @@ class RingBufferSink:
 
 
 class JSONLFileSink:
-    """Appends one compact JSON object per event to ``path``."""
+    """Appends one compact JSON object per event to ``path``.
+
+    The file is line-buffered: every event line reaches the OS as soon
+    as it is written, so a worker that crashes mid-run (or a point that
+    fails and leaves only an ``.error.json`` record) still leaves a
+    replayable trace up to its last event instead of an empty buffer.
+    Usable as a context manager; ``close()`` is idempotent.
+    """
 
     def __init__(self, path):
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8")
+        self._fh = open(path, "w", encoding="utf-8", buffering=1)
 
     def write(self, event: Dict[str, Any]) -> None:
         self._fh.write(json.dumps(event, sort_keys=True,
                                   separators=(",", ":")))
         self._fh.write("\n")
 
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def __enter__(self) -> "JSONLFileSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class EventLog:
@@ -111,6 +129,9 @@ class EventLog:
         self._sinks = list(sinks)
         self.counts: TallyCounter = TallyCounter()
         self.emitted = 0
+        # When set (ProcessShard workers), every emitted event carries a
+        # ``"shard"`` field so merged cross-shard traces stay attributable.
+        self.shard: Optional[int] = None
 
     # -- emission --------------------------------------------------------
 
@@ -123,6 +144,8 @@ class EventLog:
             return
         event = {"topic": topic, "kind": kind}
         event.update(fields)
+        if self.shard is not None:
+            event["shard"] = self.shard
         self.counts[(topic, kind)] += 1
         self.emitted += 1
         for sink in self._sinks:
@@ -161,11 +184,21 @@ class EventLog:
 
 
 def read_jsonl(path) -> List[Dict[str, Any]]:
-    """Parse a JSONL event file back into event dicts (replay helper)."""
+    """Parse a JSONL event file back into event dicts (replay helper).
+
+    A truncated *final* line — the signature of a writer killed
+    mid-``write`` — is silently dropped, so partial traces from crashed
+    workers replay cleanly; corruption anywhere else still raises.
+    """
     events = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    lines = [line for line in lines if line]
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail of a crashed writer
+            raise
     return events

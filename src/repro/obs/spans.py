@@ -1,0 +1,200 @@
+"""Per-flow lifecycle spans, derived at emission time from transport
+and host hooks.
+
+A **span** is a named instant or interval in one flow's life. The
+vocabulary follows the flow lifecycle::
+
+    flow_start -> first_data -> {rto, retransmit, cwnd_phase,
+                                 endpoint} -> complete | abort
+
+Spans are emitted on the ``"span"`` event topic the moment they *close*
+(instant spans close immediately), as flat JSONL-friendly dicts::
+
+    {"topic": "span", "kind": "flow", "flow": 7, "t0": 0,
+     "t": 81260000, "outcome": "complete", "fct": 81260000, ...}
+
+``t0``/``t`` are picosecond open/close timestamps (equal for instant
+spans); when the owning :class:`~repro.obs.events.EventLog` carries a
+shard tag every span also carries ``"shard"``, which is what lets the
+trace aggregator (:mod:`repro.obs.stream`) stitch a flow whose sender
+and receiver live in *different* shards back into one causal timeline:
+sender-side spans (flow/rto/retransmit/cwnd_phase) arrive tagged with
+the source shard, receiver-side spans (first_data, the receiving
+endpoint) with the destination shard, and a ps-ordered merge over the
+flow id reconstructs the crossing.
+
+Kinds:
+
+- ``flow`` — the whole lifecycle, opened by ``flow_start`` and closed
+  by the terminal transition with ``outcome`` "complete"/"abort" (or
+  "open" if flushed at a horizon while still running);
+- ``first_data`` — instant: the receiver saw its first data packet;
+- ``rto`` — instant: a retransmission timeout fired (``consecutive``,
+  ``backoff``);
+- ``retransmit`` — instant: one packet was retransmitted (``seq``);
+- ``cwnd_phase`` — interval: a monotone congestion-window phase
+  (``phase`` "up"/"down", cwnd at entry/exit, number of updates);
+  closed when the window direction flips or the flow terminates;
+- ``endpoint`` — interval: a host-side endpoint registration
+  (``host``), from ``Host.register`` to ``Host.unregister`` — leaked
+  registrations show up as ``state: "open"`` at flush time.
+
+Zero-cost-when-disabled contract: components cache ``obs.spans`` at
+construction exactly like ``obs.events``; with observability off the
+per-call cost is a single ``is None`` pointer test and **nothing is
+allocated**. Recording a span never schedules events and never draws
+from any RNG, so engine behavior is event-for-event identical with
+spans on or off (tested in tests/test_spans.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import EventLog
+
+#: The documented span vocabulary (the ``kind`` field of span events).
+SPAN_KINDS = (
+    "flow",
+    "first_data",
+    "rto",
+    "retransmit",
+    "cwnd_phase",
+    "endpoint",
+)
+
+
+class FlowSpans:
+    """Stateful span recorder emitting closed spans as ``"span"`` events.
+
+    One instance per :class:`~repro.obs.Observability` bundle. All
+    methods are cheap dict operations on the flow id; heavy lifting
+    (serialization, sinks, shard tagging) happens in the event log.
+    """
+
+    __slots__ = ("_events", "_flows", "_phases", "_endpoints", "opened",
+                 "closed")
+
+    def __init__(self, events: "EventLog"):
+        self._events = events
+        # flow -> (t0, attrs) for the whole-lifecycle span.
+        self._flows: Dict[int, Tuple[int, Dict[str, Any]]] = {}
+        # flow -> [phase, t0, cwnd_at_entry, updates, last_cwnd]
+        self._phases: Dict[int, list] = {}
+        # (flow, host) -> t0 for endpoint registrations.
+        self._endpoints: Dict[Tuple[int, str], int] = {}
+        self.opened = 0
+        self.closed = 0
+
+    # -- emission core ---------------------------------------------------
+
+    def _emit(self, kind: str, flow: int, t0: int, t1: int,
+              **attrs: Any) -> None:
+        self.closed += 1
+        self._events.emit("span", kind, t=t1, t0=t0, flow=flow, **attrs)
+
+    def point(self, flow: int, kind: str, t: int, **attrs: Any) -> None:
+        """Record an instant span (``t0 == t``)."""
+        self.opened += 1
+        self._emit(kind, flow, t, t, **attrs)
+
+    # -- flow lifecycle ---------------------------------------------------
+
+    def flow_start(self, flow: int, t: int, **attrs: Any) -> None:
+        """Open the whole-lifecycle ``flow`` span (Sender.start)."""
+        self.opened += 1
+        self._flows[flow] = (t, dict(attrs))
+
+    def flow_end(self, flow: int, t: int, outcome: str,
+                 **attrs: Any) -> None:
+        """Close the ``flow`` span (and any open cwnd phase) at the
+        terminal transition; ``outcome`` is "complete" or "abort"."""
+        self._close_phase(flow, t)
+        opened = self._flows.pop(flow, None)
+        t0, start_attrs = opened if opened is not None else (t, {})
+        self._emit("flow", flow, t0, t, outcome=outcome,
+                   **start_attrs, **attrs)
+
+    def first_data(self, flow: int, t: int, **attrs: Any) -> None:
+        """Instant span: the receiver saw its first data packet."""
+        self.point(flow, "first_data", t, **attrs)
+
+    def rto(self, flow: int, t: int, **attrs: Any) -> None:
+        """Instant span: a retransmission timeout fired."""
+        self.point(flow, "rto", t, **attrs)
+
+    def retransmit(self, flow: int, t: int, seq: int) -> None:
+        """Instant span: data packet ``seq`` was retransmitted."""
+        self.point(flow, "retransmit", t, seq=seq)
+
+    # -- congestion-window phases -----------------------------------------
+
+    def cwnd(self, flow: int, t: int, old: float, new: float) -> None:
+        """Fold one cwnd change into the flow's current monotone phase;
+        a direction flip closes the phase span and opens the next."""
+        if new == old:
+            return
+        direction = "up" if new > old else "down"
+        phase = self._phases.get(flow)
+        if phase is not None and phase[0] == direction:
+            phase[3] += 1
+            phase[4] = new
+            return
+        if phase is not None:
+            self._emit("cwnd_phase", flow, phase[1], t, phase=phase[0],
+                       cwnd0=phase[2], cwnd1=phase[4], updates=phase[3])
+        self.opened += 1
+        self._phases[flow] = [direction, t, old, 1, new]
+
+    def _close_phase(self, flow: int, t: int) -> None:
+        phase = self._phases.pop(flow, None)
+        if phase is not None:
+            self._emit("cwnd_phase", flow, phase[1], t, phase=phase[0],
+                       cwnd0=phase[2], cwnd1=phase[4], updates=phase[3])
+
+    # -- host endpoints ----------------------------------------------------
+
+    def endpoint_open(self, flow: int, t: int, host: str) -> None:
+        """A host registered an endpoint for ``flow`` (Host.register)."""
+        self.opened += 1
+        self._endpoints[(flow, host)] = t
+
+    def endpoint_close(self, flow: int, t: int, host: str) -> None:
+        """The registration ended (Host.unregister); closes the span."""
+        t0 = self._endpoints.pop((flow, host), None)
+        self._emit("endpoint", flow, t if t0 is None else t0, t, host=host)
+
+    def endpoint_discard(self, flow: int, host: str) -> None:
+        """Forget an open endpoint span as if it was never opened — used
+        when shard workers deactivate the remote half of a replicated
+        world (those registrations never carried traffic and must not
+        show up as leaked ``state: "open"`` spans at flush time)."""
+        if self._endpoints.pop((flow, host), None) is not None:
+            self.opened -= 1
+
+    # -- horizon flush -----------------------------------------------------
+
+    def flush_open(self, t: int) -> int:
+        """Close every still-open span at time ``t`` with ``state:
+        "open"`` — called when a run ends at a horizon so in-progress
+        flows still show up in the merged trace (their spans simply
+        end at the horizon). Returns the number of spans flushed."""
+        flushed = 0
+        for flow in sorted(self._phases):
+            self._close_phase(flow, t)
+            flushed += 1
+        for flow in sorted(self._flows):
+            t0, attrs = self._flows.pop(flow)
+            self._emit("flow", flow, t0, t, outcome="open", **attrs)
+            flushed += 1
+        for (flow, host) in sorted(self._endpoints):
+            t0 = self._endpoints.pop((flow, host))
+            self._emit("endpoint", flow, t0, t, host=host, state="open")
+            flushed += 1
+        return flushed
+
+    @property
+    def open_spans(self) -> int:
+        """Spans currently open (flows + phases + endpoints)."""
+        return len(self._flows) + len(self._phases) + len(self._endpoints)

@@ -1,0 +1,201 @@
+"""Shard-aware telemetry stream aggregation.
+
+PR 6's sharded runs left a correlation gap: each ProcessShard worker
+owns its own event log and metric registry, so a two-shard campaign
+produced two disjoint traces with no merged view. This module closes
+the gap:
+
+- :class:`StreamBufferSink` — an unbounded, drainable event sink. Shard
+  workers attach one next to their ring/JSONL sinks; the window
+  protocol drains it after every conservative (CMB) window and ships
+  the batch over the pipe, so the coordinator sees telemetry
+  *incrementally* while the run is still going, not only at
+  ``finish()``.
+- :func:`merge_streams` — k-way merge of per-shard event streams into
+  one canonical, ps-ordered stream. Within a shard events are emitted
+  in non-decreasing sim time (emission happens at ``sim.now``), so a
+  stable sort keyed by ``(t, shard, per-shard position)`` is a total,
+  deterministic order: same inputs, same canonical trace, every run.
+- :class:`TraceAggregator` — accumulates per-shard batches (from the
+  pipe, or offline from per-worker JSONL files via :func:`read_jsonl`),
+  produces the merged stream, writes it as one JSONL file, and checks
+  **conservation**: every event a worker emitted must appear in the
+  merged trace, per shard (``events in == events merged``).
+- :func:`cross_shard_flows` / :func:`flow_timeline` — stitching
+  helpers: group the merged stream by flow id to reconstruct a causal
+  timeline for flows whose packets crossed a ShardBoundary (sender-side
+  spans tagged with one shard, receiver-side with the other).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.obs.events import read_jsonl
+
+
+class StreamBufferSink:
+    """Unbounded append-only event sink with ``drain()``.
+
+    The incremental tap behind cross-shard streaming: unlike the ring
+    buffer it never drops events, and unlike the JSONL file sink its
+    contents can be handed to an in-process consumer batch by batch.
+    Bounded in practice because the shard window protocol drains it
+    every CMB window.
+    """
+
+    def __init__(self) -> None:
+        self._buf: List[Dict[str, Any]] = []
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self._buf.append(event)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear everything written since the last drain."""
+        out, self._buf = self._buf, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def close(self) -> None:  # sink protocol
+        pass
+
+
+def merge_streams(
+    streams: Sequence[tuple],
+) -> List[Dict[str, Any]]:
+    """Merge ``[(shard_id, events), ...]`` into one ps-ordered stream.
+
+    Each per-shard stream must be internally time-ordered (true of any
+    stream emitted by a running simulator). The canonical order is
+    ``(t, shard, position-within-shard)``: deterministic, stable under
+    re-aggregation, and identical whether the batches arrived
+    incrementally or from files.
+    """
+    rows = []
+    for shard, events in streams:
+        shard_key = -1 if shard is None else shard
+        for pos, event in enumerate(events):
+            rows.append((event.get("t", 0), shard_key, pos, event))
+    rows.sort(key=lambda row: row[:3])
+    return [row[3] for row in rows]
+
+
+class TraceAggregator:
+    """Accumulate per-shard event batches into one canonical trace.
+
+    Feed it incrementally (``add_events`` per CMB window, from the
+    coordinator) and/or offline (``add_file`` over a worker's JSONL
+    sink); ``merged()`` yields the canonical ps-ordered stream and
+    ``conservation()`` verifies nothing was lost in transit.
+    """
+
+    def __init__(self) -> None:
+        self._by_shard: Dict[Any, List[Dict[str, Any]]] = {}
+        self.events_in: Dict[Any, int] = {}
+
+    def add_events(self, shard: Any,
+                   batch: Iterable[Dict[str, Any]]) -> int:
+        """Append one shard's next batch (already time-ordered within
+        the shard); returns the number of events taken in."""
+        batch = list(batch)
+        if not batch:
+            return 0
+        self._by_shard.setdefault(shard, []).extend(batch)
+        self.events_in[shard] = self.events_in.get(shard, 0) + len(batch)
+        return len(batch)
+
+    def add_file(self, shard: Any, path) -> int:
+        """Ingest a per-worker JSONL trace file (offline merge path)."""
+        return self.add_events(shard, read_jsonl(path))
+
+    @property
+    def total_in(self) -> int:
+        return sum(self.events_in.values())
+
+    def merged(self) -> List[Dict[str, Any]]:
+        """The canonical ps-ordered merge of everything ingested."""
+        return merge_streams(sorted(self._by_shard.items(),
+                                    key=lambda kv: str(kv[0])))
+
+    def write(self, path) -> int:
+        """Write the merged trace as one JSONL file; returns the event
+        count (equal to :attr:`total_in` by construction)."""
+        merged = self.merged()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in merged:
+                fh.write(json.dumps(event, sort_keys=True,
+                                    separators=(",", ":")))
+                fh.write("\n")
+        return len(merged)
+
+    def conservation(
+        self, emitted_by_shard: Optional[Dict[Any, int]] = None,
+    ) -> List[str]:
+        """Check events in == events merged (and, when the workers'
+        ``EventLog.emitted`` totals are supplied, emitted == received
+        per shard). Returns violation strings, empty when conserved."""
+        violations: List[str] = []
+        merged_by_shard: Dict[Any, int] = {}
+        for event in self.merged():
+            key = event.get("shard")
+            merged_by_shard[key] = merged_by_shard.get(key, 0) + 1
+        total_merged = sum(merged_by_shard.values())
+        if total_merged != self.total_in:
+            violations.append(
+                f"trace aggregator: {self.total_in} events in, "
+                f"{total_merged} merged"
+            )
+        if emitted_by_shard is not None:
+            for shard in sorted(emitted_by_shard, key=str):
+                emitted = emitted_by_shard[shard]
+                got = self.events_in.get(shard, 0)
+                if emitted != got:
+                    violations.append(
+                        f"trace aggregator: shard {shard} emitted "
+                        f"{emitted} events, aggregator received {got}"
+                    )
+        return violations
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready accounting of the aggregation."""
+        return {
+            "events_in": {str(k): v for k, v in self.events_in.items()},
+            "events_merged": len(self.merged()),
+            "shards": sorted((str(k) for k in self._by_shard), key=str),
+        }
+
+
+# ----------------------------------------------------------------------
+# Stitching helpers over a merged trace
+# ----------------------------------------------------------------------
+
+def flow_timeline(events: Iterable[Dict[str, Any]],
+                  flow: int) -> List[Dict[str, Any]]:
+    """Every event belonging to ``flow``, in canonical order — the
+    stitched causal timeline of one (possibly cross-shard) flow."""
+    return [e for e in events if e.get("flow") == flow]
+
+
+def flows_by_shard(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[int, Set[Any]]:
+    """Map each flow id to the set of shards that emitted events for it."""
+    out: Dict[int, Set[Any]] = {}
+    for event in events:
+        flow = event.get("flow")
+        if flow is None:
+            continue
+        out.setdefault(flow, set()).add(event.get("shard"))
+    return out
+
+
+def cross_shard_flows(events: Iterable[Dict[str, Any]]) -> List[int]:
+    """Flow ids whose timeline spans more than one shard — i.e. flows
+    stitched across a ShardBoundary by the aggregator."""
+    return sorted(
+        flow for flow, shards in flows_by_shard(events).items()
+        if len(shards) > 1
+    )

@@ -46,6 +46,7 @@ class Host(FailureDomain):
         "down_node_drops",
         "pool",
         "_uplink",
+        "_spans",
     )
 
     def __init__(self, sim: "Simulator", node_id: int, name: str, dc: int = 0):
@@ -64,6 +65,7 @@ class Host(FailureDomain):
         self._uplink: "Port" = None
         self._init_failure_domain()
         obs = sim.obs
+        self._spans = obs.spans if obs is not None else None
         if obs is not None:
             obs.metrics.defer(self._register_metrics)
 
@@ -84,6 +86,8 @@ class Host(FailureDomain):
                 f"flow {flow_id} already registered on host {self.name}"
             )
         self.endpoints[flow_id] = endpoint
+        if self._spans is not None:
+            self._spans.endpoint_open(flow_id, self.sim.now, self.name)
 
     def unregister(self, flow_id: int) -> None:
         """Remove (and close) the endpoint registered for ``flow_id``.
@@ -96,6 +100,8 @@ class Host(FailureDomain):
         endpoint = self.endpoints.pop(flow_id, None)
         if endpoint is None:
             return
+        if self._spans is not None:
+            self._spans.endpoint_close(flow_id, self.sim.now, self.name)
         close = getattr(endpoint, "close", None)
         if close is not None:
             close()

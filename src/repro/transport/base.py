@@ -185,6 +185,8 @@ class Receiver:
         self.sim = sim
         self.host = host
         self.flow_id = flow_id
+        obs = sim.obs
+        self._spans = obs.spans if obs is not None else None
         self.received_seqs: set[int] = set()
         self.rx_data_pkts = 0
         self.idle_timeout_ps = idle_timeout_ps
@@ -197,6 +199,10 @@ class Receiver:
         if pkt.kind != DATA:
             return
         self.rx_data_pkts += 1
+        if self.rx_data_pkts == 1 and self._spans is not None:
+            # Receiver-side span: in a sharded run this is emitted by the
+            # destination shard, stitching the flow across the boundary.
+            self._spans.first_data(self.flow_id, self.sim.now, seq=pkt.seq)
         self._last_rx_ps = self.sim.now
         if self.idle_timeout_ps is not None and self._idle_handle is None:
             self._idle_handle = self.sim.after(
@@ -345,6 +351,7 @@ class Sender:
         obs = sim.obs
         self._obs = obs
         self._events = obs.events if obs is not None else None
+        self._spans = obs.spans if obs is not None else None
         self._counters = (
             None if obs is None else {
                 name: obs.metrics.counter(f"transport.{name}")
@@ -371,6 +378,10 @@ class Sender:
         if ev is not None and ev.wants("flow"):
             ev.emit("flow", "start", t=self.sim.now, flow=self.flow_id,
                     size=self.size_bytes, inter_dc=self.is_inter_dc)
+        if self._spans is not None:
+            self._spans.flow_start(self.flow_id, self.sim.now,
+                                   size=self.size_bytes,
+                                   inter_dc=self.is_inter_dc)
         self.cc.on_init(self)
         self.path.on_init(self)
         self._arm_rto()
@@ -420,6 +431,9 @@ class Sender:
             ev.emit("flow", "abort", t=self.sim.now, flow=self.flow_id,
                     reason=reason, acked=len(self.acked_seqs),
                     total=self.total_data_pkts)
+        if self._spans is not None:
+            self._spans.flow_end(self.flow_id, self.sim.now, "abort",
+                                 reason=reason)
         self._cancel_timers()
         self.cc.on_done(self)
         self.src.unregister(self.flow_id)
@@ -561,6 +575,8 @@ class Sender:
             self.stats.retransmissions += 1
             if self._counters is not None:
                 self._counters["retransmissions"].inc()
+            if self._spans is not None:
+                self._spans.retransmit(self.flow_id, now, seq)
         pkt.sent_ps = now
         self._decorate(pkt)
         pkt.sport = self.path.entropy(self, pkt)
@@ -660,6 +676,9 @@ class Sender:
         if ev is not None and self.cwnd != cwnd_before and ev.wants("cwnd"):
             ev.emit("cwnd", "update", t=self.sim.now, flow=self.flow_id,
                     old=cwnd_before, new=self.cwnd, cause="ack")
+        if self._spans is not None and self.cwnd != cwnd_before:
+            self._spans.cwnd(self.flow_id, self.sim.now,
+                             cwnd_before, self.cwnd)
         self.path.on_ack(self, pkt, rtt, pkt.ecn_echo)
         self._after_ack(pkt)
         if self._check_done():
@@ -707,6 +726,10 @@ class Sender:
         if self._counters is not None:
             self._counters["timeouts"].inc()
         self._consecutive_timeouts += 1
+        if self._spans is not None:
+            self._spans.rto(self.flow_id, self.sim.now,
+                            consecutive=self._consecutive_timeouts,
+                            backoff=self._rto_backoff)
         pol = self.abort_policy
         if (
             pol is not None
@@ -727,6 +750,9 @@ class Sender:
         if ev is not None and self.cwnd != cwnd_before and ev.wants("cwnd"):
             ev.emit("cwnd", "update", t=self.sim.now, flow=self.flow_id,
                     old=cwnd_before, new=self.cwnd, cause="timeout")
+        if self._spans is not None and self.cwnd != cwnd_before:
+            self._spans.cwnd(self.flow_id, self.sim.now,
+                             cwnd_before, self.cwnd)
         self.path.on_nack_or_timeout(self)
         # Double the effective RTO for the next consecutive timeout
         # (after the expiry cutoff above used the pre-bump value).
@@ -767,6 +793,10 @@ class Sender:
             ev.emit("flow", "done", t=self.sim.now, flow=self.flow_id,
                     fct=self.stats.fct_ps,
                     retx=self.stats.retransmissions)
+        if self._spans is not None:
+            self._spans.flow_end(self.flow_id, self.sim.now, "complete",
+                                 fct=self.stats.fct_ps,
+                                 retx=self.stats.retransmissions)
         self._cancel_timers()
         self.cc.on_done(self)
         self.src.unregister(self.flow_id)

@@ -14,6 +14,9 @@ the repo root) recording events/sec, packets/sec and peak RSS — the
 repo's performance trajectory, one file per scenario per tree state.
 With ``--repeat N`` the best (highest events/sec) of N runs is kept, so
 the number tracks the machine's capability rather than scheduler noise.
+Every run also appends its record to ``BENCH_history.jsonl`` in the
+same directory (one JSON line per scenario per invocation), which
+``tools/dashboard.py`` charts as the bench trajectory.
 
 ``--check-baseline`` compares each core scenario's events/sec against a
 committed baseline file and exits non-zero if any regresses by more than
@@ -122,6 +125,10 @@ def main(argv=None) -> int:
         results.append(rec)
         path = out_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(rec, indent=2, sort_keys=True) + "\n")
+        with open(out_dir / "BENCH_history.jsonl", "a",
+                  encoding="utf-8") as history:
+            history.write(json.dumps(rec, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
         rate = (f"{rec['builds_per_sec']:.2f} builds/s"
                 if rec.get("builds_per_sec")
                 else f"{rec['events_per_sec']:,.0f} ev/s, "

@@ -1,0 +1,644 @@
+#!/usr/bin/env python
+"""Campaign dashboard: tail a running ``run_all`` campaign, render it.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/dashboard.py <out-dir>            # one-shot
+    PYTHONPATH=src python tools/dashboard.py <out-dir> --follow   # live tail
+    PYTHONPATH=src python tools/dashboard.py <out-dir> --html report.html
+
+``<out-dir>`` is the ``--out`` directory of a ``run_all --telemetry``
+invocation. The dashboard is a pure consumer — it never imports the
+simulator's hot path, only reads the files the campaign writes:
+
+- ``telemetry/campaign.jsonl`` — the live progress stream (tailed
+  incrementally; torn final lines are retried on the next poll);
+- ``summaries/chaos-*.json`` — chaos campaign verdicts (invariant
+  status);
+- ``summaries/sharded-two-dc.json`` + ``telemetry/sharded/`` — the
+  merged cross-shard trace, its conservation status, and per-flow span
+  timelines (flagged flows get a waterfall);
+- ``BENCH_*.json`` / ``BENCH_history.jsonl`` in ``--bench-dir``
+  (default: the repo root) — the committed bench trajectory.
+
+``--html FILE`` writes a static self-contained report (inline CSS +
+SVG, no external assets). Exit status is the CI gate: non-zero when the
+campaign has failed points, a chaos invariant was violated, or the
+trace aggregator reports conservation violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.stream import flow_timeline  # noqa: E402
+
+#: Span kinds that flag a flow for a waterfall: anything that signals
+#: loss recovery or an abnormal end, plus cross-shard stitches.
+FLAG_KINDS = ("rto", "retransmit")
+
+
+# ---------------------------------------------------------------------------
+# Incremental JSONL tailing
+
+
+class JSONLTail:
+    """Incrementally read a JSONL file that another process is writing.
+
+    ``poll()`` returns the records appended since the last call. A torn
+    final line (the writer crashed or has not finished the write) stays
+    buffered until its newline arrives, so a record is never half-read.
+    The file may not exist yet; ``poll()`` just returns nothing.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = ""
+
+    def poll(self) -> List[Dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                fh.seek(self._offset)
+                chunk = fh.read()
+                self._offset = fh.tell()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        text = self._partial + chunk
+        lines = text.split("\n")
+        self._partial = lines.pop()  # "" when chunk ended in a newline
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # corrupt line: skip, keep tailing
+        return records
+
+
+# ---------------------------------------------------------------------------
+# Campaign state (consumer of the CampaignStream record vocabulary)
+
+
+class CampaignState:
+    """Fold ``campaign.jsonl`` records into a renderable snapshot."""
+
+    def __init__(self) -> None:
+        self.name: Optional[str] = None
+        self.total = 0
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self.retries = 0
+        self.started_ts: Optional[float] = None
+        self.ended = False
+        self.end_fields: Dict[str, Any] = {}
+        self.points: List[Dict[str, Any]] = []
+
+    def feed(self, rec: Dict[str, Any]) -> None:
+        kind = rec.get("kind")
+        if kind == "campaign_start":
+            # A new stream in the same file restarts the state.
+            self.__init__()
+            self.name = rec.get("campaign")
+            self.total = int(rec.get("total", 0))
+            self.started_ts = rec.get("ts")
+        elif kind == "point":
+            self.done += 1
+            if rec.get("status") != "ok":
+                self.failed += 1
+            if rec.get("cached"):
+                self.cached += 1
+            self.points.append(rec)
+        elif kind == "retry":
+            self.retries += 1
+        elif kind == "campaign_end":
+            self.ended = True
+            self.done = int(rec.get("done", self.done))
+            self.failed = int(rec.get("failed", self.failed))
+            self.end_fields = {k: v for k, v in rec.items()
+                               if k not in ("kind", "ts", "done", "failed")}
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+# ---------------------------------------------------------------------------
+# File readers (one-shot, tolerant of absence)
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def read_jsonl_file(path: Path) -> List[Dict[str, Any]]:
+    return JSONLTail(path).poll()
+
+
+def chaos_summaries(out: Path) -> List[Tuple[str, Dict[str, Any]]]:
+    rows = []
+    for path in sorted((out / "summaries").glob("chaos-*.json")):
+        data = read_json(path)
+        if data is not None:
+            rows.append((path.stem, data))
+    return rows
+
+
+def sharded_summary(out: Path) -> Optional[Dict[str, Any]]:
+    return read_json(out / "summaries" / "sharded-two-dc.json")
+
+
+def trace_events(out: Path) -> List[Dict[str, Any]]:
+    return read_jsonl_file(out / "telemetry" / "sharded" / "trace.jsonl")
+
+
+def trace_meta(out: Path) -> Optional[Dict[str, Any]]:
+    return read_json(out / "telemetry" / "sharded" / "summary.json")
+
+
+def flagged_flows(events: List[Dict[str, Any]],
+                  cross_shard: List[int], limit: int) -> List[int]:
+    """Flows worth a waterfall: loss recovery, aborts, then cross-shard
+    stitches, in that priority order, deduplicated, capped at *limit*."""
+    flagged: List[int] = []
+    for ev in events:
+        fid = ev.get("flow")
+        if fid is None or fid in flagged:
+            continue
+        if ev.get("kind") in FLAG_KINDS or ev.get("outcome") == "abort":
+            flagged.append(fid)
+    for fid in cross_shard:
+        if fid not in flagged:
+            flagged.append(fid)
+    return flagged[:limit]
+
+
+def bench_records(bench_dir: Path) -> Dict[str, List[Dict[str, Any]]]:
+    """Bench trajectory per scenario: history lines first (oldest to
+    newest), then the current snapshot if it is not already the last
+    history entry."""
+    series: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in read_jsonl_file(bench_dir / "BENCH_history.jsonl"):
+        name = rec.get("name")
+        if name:
+            series.setdefault(name, []).append(rec)
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        rec = read_json(path)
+        if not rec or "name" not in rec:
+            continue
+        runs = series.setdefault(rec["name"], [])
+        if not runs or runs[-1].get("timestamp") != rec.get("timestamp"):
+            runs.append(rec)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering
+
+
+BAR_WIDTH = 40
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def sparkline(values: List[float]) -> str:
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(SPARK[int((v - lo) / span * (len(SPARK) - 1))]
+                   for v in values)
+
+
+def render_campaign(state: CampaignState, lines: List[str]) -> None:
+    if state.name is None:
+        lines.append("campaign: (no campaign.jsonl yet)")
+        return
+    frac = state.done / state.total if state.total else 0.0
+    status = ("done" if state.ended else "running")
+    if state.failed:
+        status += f", {state.failed} FAILED"
+    lines.append(f"campaign {state.name}: [{bar(frac)}] "
+                 f"{state.done}/{state.total} ({frac:4.0%}) {status}")
+    detail = []
+    if state.cached:
+        detail.append(f"{state.cached} cached")
+    if state.retries:
+        detail.append(f"{state.retries} retried")
+    if detail:
+        lines.append("  " + ", ".join(detail))
+    for rec in state.points:
+        if rec.get("status") != "ok":
+            lines.append(f"  FAILED {rec.get('point')}: "
+                         f"{rec.get('status')}")
+
+
+def render_chaos(rows: List[Tuple[str, Dict[str, Any]]],
+                 lines: List[str]) -> None:
+    if not rows:
+        return
+    lines.append("")
+    lines.append("chaos invariants:")
+    for name, data in rows:
+        verdict = ("OK" if data.get("total_violations", 0) == 0
+                   and data.get("all_flows_terminal", False)
+                   else "VIOLATED")
+        lines.append(f"  {name}: {data.get('n_points', 0)} points, "
+                     f"{data.get('total_violations', 0)} violations, "
+                     f"terminal={data.get('all_flows_terminal')} "
+                     f"-> {verdict}")
+
+
+def render_sharded(summary: Optional[Dict[str, Any]],
+                   meta: Optional[Dict[str, Any]],
+                   lines: List[str]) -> None:
+    if summary is None and meta is None:
+        return
+    lines.append("")
+    lines.append("sharded trace:")
+    if summary is not None:
+        eq = "EQUIVALENT" if summary.get("equivalent") else "MISMATCH"
+        lines.append(f"  two-DC equivalence: {eq} over "
+                     f"{summary.get('flows')} flows, "
+                     f"{summary.get('rounds')} sync rounds")
+        violations = summary.get("trace_violations", [])
+        lines.append(f"  conservation: "
+                     f"{'OK' if not violations else 'VIOLATED'}"
+                     + "".join(f"\n    {v}" for v in violations))
+        lines.append(f"  cross-shard flows stitched: "
+                     f"{summary.get('cross_shard_flows', 0)}")
+    if meta is not None:
+        trace = meta.get("trace", {})
+        per_shard = trace.get("events_in", {})
+        shard_bits = ", ".join(f"shard {s}: {n}"
+                               for s, n in sorted(per_shard.items()))
+        lines.append(f"  merged events: {trace.get('events_merged', 0)} "
+                     f"({shard_bits})")
+
+
+def render_waterfall(events: List[Dict[str, Any]], flow: int,
+                     lines: List[str], width: int = 48) -> None:
+    """One flow's span timeline as a text waterfall, shard-tagged."""
+    timeline = flow_timeline(events, flow)
+    if not timeline:
+        return
+    t_lo = min(ev.get("t0", ev["t"]) for ev in timeline)
+    t_hi = max(ev["t"] for ev in timeline)
+    span_ps = (t_hi - t_lo) or 1
+    lines.append(f"  flow {flow} "
+                 f"({(t_hi - t_lo) / 1e9:.3f} ms, "
+                 f"{len(timeline)} events):")
+    for ev in timeline:
+        t0 = ev.get("t0", ev["t"])
+        a = int((t0 - t_lo) / span_ps * (width - 1))
+        b = int((ev["t"] - t_lo) / span_ps * (width - 1))
+        row = ["."] * width
+        if b > a:
+            for i in range(a, b + 1):
+                row[i] = "="
+        else:
+            row[a] = "|"
+        label = ev.get("kind", ev.get("topic", "?"))
+        if ev.get("phase"):
+            label = f"{label}:{ev['phase']}"
+        if ev.get("outcome"):
+            label = f"{label}:{ev['outcome']}"
+        shard = ev.get("shard")
+        tag = f"s{shard}" if shard is not None else "--"
+        lines.append(f"    [{''.join(row)}] {tag} {label}")
+
+
+def render_bench(series: Dict[str, List[Dict[str, Any]]],
+                 lines: List[str]) -> None:
+    if not series:
+        return
+    lines.append("")
+    lines.append("bench trajectory (events/sec; builds/sec for "
+                 "topo_build):")
+    for name in sorted(series):
+        runs = series[name]
+        values = [r.get("builds_per_sec") or r.get("events_per_sec", 0.0)
+                  for r in runs]
+        latest = values[-1]
+        lines.append(f"  {name:<22} {latest:>12,.0f}  "
+                     f"{sparkline(values)}  ({len(values)} runs)")
+
+
+def render_terminal(out: Path, state: CampaignState, bench_dir: Path,
+                    max_flows: int) -> Tuple[str, bool]:
+    """Render the full dashboard; returns (text, gate_ok)."""
+    lines: List[str] = [f"== campaign dashboard: {out} =="]
+    render_campaign(state, lines)
+    chaos = chaos_summaries(out)
+    render_chaos(chaos, lines)
+    summary = sharded_summary(out)
+    meta = trace_meta(out)
+    render_sharded(summary, meta, lines)
+
+    events = trace_events(out)
+    if events:
+        cross = (meta or {}).get("cross_shard_flows", [])
+        flows = flagged_flows(events, cross, max_flows)
+        if flows:
+            lines.append("")
+            lines.append(f"flagged flow waterfalls "
+                         f"({len(flows)} of {max_flows} max):")
+            for fid in flows:
+                render_waterfall(events, fid, lines)
+
+    render_bench(bench_records(bench_dir), lines)
+
+    gate_ok = state.ok
+    for _, data in chaos:
+        if data.get("total_violations", 0) or \
+                not data.get("all_flows_terminal", True):
+            gate_ok = False
+    if summary is not None:
+        if not summary.get("equivalent", True):
+            gate_ok = False
+        if summary.get("trace_violations"):
+            gate_ok = False
+    lines.append("")
+    lines.append(f"gate: {'OK' if gate_ok else 'FAILED'}")
+    return "\n".join(lines), gate_ok
+
+
+# ---------------------------------------------------------------------------
+# HTML report
+
+
+def _svg_series(values: List[float], width: int = 360,
+                height: int = 80) -> str:
+    """Inline SVG polyline for one bench series (min..max scaled)."""
+    if len(values) < 2:
+        values = list(values) * 2 if values else [0.0, 0.0]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 6
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg viewBox="0 0 {width} {height}" class="chart">'
+            f'<polyline fill="none" stroke="#2a7" stroke-width="2" '
+            f'points="{points}"/></svg>')
+
+
+def _svg_waterfall(events: List[Dict[str, Any]], flow: int,
+                   width: int = 560) -> str:
+    timeline = flow_timeline(events, flow)
+    if not timeline:
+        return ""
+    t_lo = min(ev.get("t0", ev["t"]) for ev in timeline)
+    t_hi = max(ev["t"] for ev in timeline)
+    span_ps = (t_hi - t_lo) or 1
+    row_h, label_w = 16, 180
+    height = row_h * len(timeline) + 8
+    parts = [f'<svg viewBox="0 0 {width} {height}" class="waterfall">']
+    scale = (width - label_w - 10) / span_ps
+    for i, ev in enumerate(timeline):
+        y = 4 + i * row_h
+        t0 = ev.get("t0", ev["t"])
+        x0 = label_w + (t0 - t_lo) * scale
+        x1 = label_w + (ev["t"] - t_lo) * scale
+        shard = ev.get("shard")
+        color = "#27c" if shard in (0, "0") else (
+            "#c72" if shard in (1, "1") else "#888")
+        label = ev.get("kind", ev.get("topic", "?"))
+        if ev.get("phase"):
+            label += f":{ev['phase']}"
+        if ev.get("outcome"):
+            label += f":{ev['outcome']}"
+        tag = f"s{shard}" if shard is not None else ""
+        parts.append(
+            f'<text x="2" y="{y + 11}" class="lbl">'
+            f'{html.escape(f"{tag} {label}")}</text>')
+        if x1 - x0 >= 2:
+            parts.append(f'<rect x="{x0:.1f}" y="{y + 3}" '
+                         f'width="{x1 - x0:.1f}" height="9" '
+                         f'fill="{color}" opacity="0.7"/>')
+        else:
+            parts.append(f'<circle cx="{x0:.1f}" cy="{y + 7}" r="3" '
+                         f'fill="{color}"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 64em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; } td, th { padding: 2px 10px;
+       border-bottom: 1px solid #ddd; text-align: left; }
+.ok { color: #2a7; font-weight: 600; }
+.bad { color: #c22; font-weight: 600; }
+.meter { background: #eee; width: 24em; height: 12px;
+         border-radius: 6px; overflow: hidden; display: inline-block;
+         vertical-align: middle; }
+.meter div { background: #2a7; height: 100%; }
+.chart, .waterfall { border: 1px solid #eee; margin: 4px 0; }
+.lbl { font: 10px monospace; fill: #444; }
+.mono { font-family: monospace; }
+"""
+
+
+def verdict_html(ok: bool, yes: str = "OK", no: str = "FAILED") -> str:
+    return (f'<span class="ok">{yes}</span>' if ok
+            else f'<span class="bad">{no}</span>')
+
+
+def render_html(out: Path, state: CampaignState, bench_dir: Path,
+                max_flows: int, gate_ok: bool) -> str:
+    esc = html.escape
+    parts = ["<!doctype html><html><head><meta charset='utf-8'>",
+             f"<title>campaign dashboard: {esc(str(out))}</title>",
+             f"<style>{HTML_STYLE}</style></head><body>",
+             f"<h1>Campaign dashboard <span class='mono'>"
+             f"{esc(str(out))}</span></h1>",
+             f"<p>Overall gate: {verdict_html(gate_ok)}</p>"]
+
+    # Campaign progress.
+    parts.append("<h2>Campaign</h2>")
+    if state.name is None:
+        parts.append("<p>No campaign stream found.</p>")
+    else:
+        frac = state.done / state.total if state.total else 0.0
+        parts.append(
+            f"<p><b>{esc(str(state.name))}</b> "
+            f"<span class='meter'><div style='width:{frac:.0%}'></div>"
+            f"</span> {state.done}/{state.total} "
+            f"({'done' if state.ended else 'running'}, "
+            f"{state.failed} failed, {state.cached} cached, "
+            f"{state.retries} retried)</p>")
+        if state.points:
+            parts.append("<table><tr><th>point</th><th>status</th>"
+                         "<th>elapsed</th><th>cached</th></tr>")
+            for rec in state.points:
+                ok = rec.get("status") == "ok"
+                parts.append(
+                    f"<tr><td class='mono'>{esc(str(rec.get('point')))}"
+                    f"</td><td>{verdict_html(ok, 'ok', esc(str(rec.get('status'))))}</td>"
+                    f"<td>{rec.get('elapsed_s', 0)}s</td>"
+                    f"<td>{'yes' if rec.get('cached') else ''}</td></tr>")
+            parts.append("</table>")
+
+    # Chaos invariants.
+    chaos = chaos_summaries(out)
+    if chaos:
+        parts.append("<h2>Chaos invariants</h2><table>"
+                     "<tr><th>campaign</th><th>points</th>"
+                     "<th>violations</th><th>terminal</th>"
+                     "<th>verdict</th></tr>")
+        for name, data in chaos:
+            ok = (data.get("total_violations", 0) == 0
+                  and data.get("all_flows_terminal", False))
+            parts.append(
+                f"<tr><td>{esc(name)}</td>"
+                f"<td>{data.get('n_points', 0)}</td>"
+                f"<td>{data.get('total_violations', 0)}</td>"
+                f"<td>{data.get('all_flows_terminal')}</td>"
+                f"<td>{verdict_html(ok, 'OK', 'VIOLATED')}</td></tr>")
+        parts.append("</table>")
+
+    # Sharded trace.
+    summary = sharded_summary(out)
+    meta = trace_meta(out)
+    if summary is not None or meta is not None:
+        parts.append("<h2>Sharded trace</h2><ul>")
+        if summary is not None:
+            parts.append(
+                f"<li>two-DC equivalence: "
+                f"{verdict_html(bool(summary.get('equivalent')), 'EQUIVALENT', 'MISMATCH')} "
+                f"over {summary.get('flows')} flows, "
+                f"{summary.get('rounds')} sync rounds</li>")
+            violations = summary.get("trace_violations", [])
+            parts.append(f"<li>conservation: "
+                         f"{verdict_html(not violations)}"
+                         + "".join(f"<br><span class='mono'>{esc(v)}"
+                                   f"</span>" for v in violations)
+                         + "</li>")
+            parts.append(f"<li>cross-shard flows stitched: "
+                         f"{summary.get('cross_shard_flows', 0)}</li>")
+        if meta is not None:
+            trace = meta.get("trace", {})
+            per_shard = ", ".join(
+                f"shard {s}: {n}" for s, n in
+                sorted(trace.get("events_in", {}).items()))
+            parts.append(f"<li>merged events: "
+                         f"{trace.get('events_merged', 0)} "
+                         f"({esc(per_shard)})</li>")
+        parts.append("</ul>")
+
+    # Flow waterfalls.
+    events = trace_events(out)
+    if events:
+        cross = (meta or {}).get("cross_shard_flows", [])
+        flows = flagged_flows(events, cross, max_flows)
+        if flows:
+            parts.append("<h2>Flagged flow waterfalls</h2>")
+            parts.append("<p>Blue bars ran on shard 0, orange on shard "
+                         "1; a dot is an instantaneous span.</p>")
+            for fid in flows:
+                parts.append(f"<h3 class='mono'>flow {fid}</h3>")
+                parts.append(_svg_waterfall(events, fid))
+
+    # Bench trajectory.
+    series = bench_records(bench_dir)
+    if series:
+        parts.append("<h2>Bench trajectory</h2>")
+        for name in sorted(series):
+            runs = series[name]
+            values = [r.get("builds_per_sec")
+                      or r.get("events_per_sec", 0.0) for r in runs]
+            unit = ("builds/s" if runs[-1].get("builds_per_sec")
+                    else "events/s")
+            parts.append(
+                f"<p><b>{esc(name)}</b> — latest "
+                f"{values[-1]:,.0f} {unit} over {len(values)} run(s)"
+                f"</p>{_svg_series(values)}")
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("out", help="run_all --out directory to watch")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep tailing until campaign_end (or ^C)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval in seconds for --follow")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="also write a static HTML report")
+    parser.add_argument("--bench-dir", default=str(REPO_ROOT),
+                        help="directory holding BENCH_*.json and "
+                             "BENCH_history.jsonl (default: repo root)")
+    parser.add_argument("--flows", type=int, default=8,
+                        help="max flagged-flow waterfalls to render")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    bench_dir = Path(args.bench_dir)
+    tail = JSONLTail(out / "telemetry" / "campaign.jsonl")
+    state = CampaignState()
+
+    def ingest() -> None:
+        for rec in tail.poll():
+            state.feed(rec)
+
+    ingest()
+    if args.follow:
+        try:
+            while not state.ended:
+                text, _ = render_terminal(out, state, bench_dir,
+                                          args.flows)
+                print(text, flush=True)
+                print("-" * 60, flush=True)
+                time.sleep(args.interval)
+                ingest()
+        except KeyboardInterrupt:
+            pass
+
+    text, gate_ok = render_terminal(out, state, bench_dir, args.flows)
+    print(text)
+
+    if args.html:
+        report = render_html(out, state, bench_dir, args.flows, gate_ok)
+        Path(args.html).write_text(report, encoding="utf-8")
+        print(f"\n[html report -> {args.html}]")
+
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional
 from repro.experiments.api import ExperimentPoint
 from repro.experiments.harness import build_multidc, make_launcher, scale_for
 from repro.sim.chaos import (
+    DeadlockProbe,
     FiberCut,
     GreyFailure,
     HostCrash,
@@ -37,13 +38,18 @@ from repro.sim.chaos import (
     NICFlap,
     NodeScenario,
     PartitionWindow,
+    PauseStorm,
     Scenario,
     SwitchCrash,
     ToRReboot,
     check_invariants,
 )
 from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.queues import REDConfig
+from repro.sim.pfc import DeadlockWatchdog, PFCConfig, enable_pfc, pause_stats
 from repro.sim.units import MS, US
+from repro.topology.fattree import FatTree, FatTreeConfig
 from repro.topology.simple import dual_border, dumbbell
 from repro.transport.base import AbortPolicy, Sender, start_flow
 from repro.transport.dctcp import DCTCP
@@ -53,9 +59,15 @@ EXPERIMENT = "chaos"
 
 HORIZON_PS = 500 * MS  # per-point deadline: every flow must finish by here
 
-TOPOS = ("dumbbell", "two_dc", "dual_border")
+TOPOS = ("dumbbell", "two_dc", "dual_border", "fattree")
 DUMBBELL_TRANSPORTS = ("dctcp",)
 TWO_DC_TRANSPORTS = ("uno", "gemini")
+FABRICS = ("lossy", "lossless")
+
+# CBD watchdog tuning for lossless campaign points: scan every 1 ms, a
+# cycle of ports paused continuously for 10 ms is a deadlock.
+WATCHDOG_WINDOW_PS = 10 * MS
+WATCHDOG_INTERVAL_PS = 1 * MS
 
 # Connection abort policy for node-failure campaigns: generous enough
 # that flows riding out a repaired outage (ToR reboot, NIC flap) or a
@@ -89,6 +101,18 @@ CAMPAIGNS: Dict[str, List[tuple]] = {
         + [("two_dc", s, t)
            for s in ("host_crash", "tor_reboot", "core_crash", "nic_flap")
            for t in TWO_DC_TRANSPORTS]
+    ),
+    # Lossless fabric: 4-tuple cells add the fabric axis. Pause storms
+    # run lossy-vs-lossless on both topologies (the lossy twin is the
+    # harmless control; the lossless one measures victim-flow spreading
+    # slowdown), and the seeded DeadlockProbe cells must be flagged by
+    # the CBD watchdog — an *undetected* deadlock fails the campaign.
+    "lossless": (
+        [("fattree", "pause_storm", "dctcp", f) for f in FABRICS]
+        + [("two_dc", "pause_storm", t, f)
+           for t in TWO_DC_TRANSPORTS for f in FABRICS]
+        + [("fattree", "deadlock_probe", "dctcp", "lossless"),
+           ("two_dc", "deadlock_probe", "uno", "lossless")]
     ),
 }
 
@@ -139,6 +163,24 @@ def scenario_for(topo: str, name: str) -> Scenario:
             "nic_flap": NICFlap(selector="host", k=1, start_ps=2 * MS,
                                 down_ps=1 * MS, period_ps=20 * MS,
                                 flaps=3),
+            # PFC scenarios: storm the border (the inter-DC victim
+            # path); the probe seeds its cycle inside a fat-tree pod.
+            "pause_storm": PauseStorm(selector="border", k=2,
+                                      start_ps=1 * MS, duration_ps=30 * MS,
+                                      period_ps=200 * US, hold_ps=100 * US),
+            "deadlock_probe": DeadlockProbe(at_ps=2 * MS, hold_ps=60 * MS),
+        }
+    elif topo == "fattree":
+        presets = {
+            # Storm two core cables while the cross-pod flows are
+            # airborne: on a lossless fabric they stall repeatedly
+            # (victim spreading); on a lossy one the frames are ignored.
+            "pause_storm": PauseStorm(selector="core", k=2,
+                                      start_ps=100 * US, duration_ps=30 * MS,
+                                      period_ps=200 * US, hold_ps=100 * US),
+            # Seed a held-pause square (core/agg or edge/agg): the CBD
+            # watchdog must flag it within its 10 ms window.
+            "deadlock_probe": DeadlockProbe(at_ps=2 * MS, hold_ps=60 * MS),
         }
     elif topo == "dual_border":
         presets = {
@@ -178,6 +220,13 @@ def campaign_points(
     if campaign not in CAMPAIGNS:
         raise ValueError(f"unknown campaign {campaign!r}; "
                          f"choose from {sorted(CAMPAIGNS)}")
+    try:
+        parse_convergence(convergence)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid convergence value {convergence!r}: expected "
+            f"'default', 'inf', or a delay in picoseconds"
+        ) from None
     base_seed = 7 if seed is None else seed
     # Node-failure cells carry the abort policy (flattened to scalar
     # keys — point configs are JSON-scalar cache keys) and pin the flow
@@ -190,23 +239,35 @@ def campaign_points(
             "abort_deadline_ps": NODE_ABORT["deadline_ps"],
             "flows": "pinned",
         }
-    return [
-        ExperimentPoint(
+    pts = []
+    for cell in CAMPAIGNS[campaign]:
+        topo, scenario, transport = cell[:3]
+        name = f"{campaign}/{topo}-{scenario}-{transport}"
+        config = {
+            "quick": quick,
+            "campaign": campaign,
+            "topo": topo,
+            "scenario": scenario,
+            "transport": transport,
+            "convergence": convergence,
+            **extra,
+        }
+        if len(cell) > 3:
+            # 4-tuple cells carry a fabric axis (lossy | lossless); the
+            # probe cells additionally *expect* a CBD detection. Older
+            # 3-tuple campaigns keep their historical configs (and thus
+            # on-disk cache keys) byte-identical.
+            fabric = cell[3]
+            name = f"{name}-{fabric}"
+            config["fabric"] = fabric
+            config["expect_deadlock"] = scenario == "deadlock_probe"
+        pts.append(ExperimentPoint(
             experiment=EXPERIMENT,
-            name=f"{campaign}/{topo}-{scenario}-{transport}",
-            config={
-                "quick": quick,
-                "campaign": campaign,
-                "topo": topo,
-                "scenario": scenario,
-                "transport": transport,
-                "convergence": convergence,
-                **extra,
-            },
+            name=name,
+            config=config,
             seed=base_seed,
-        )
-        for topo, scenario, transport in CAMPAIGNS[campaign]
-    ]
+        ))
+    return pts
 
 
 def points(quick: bool = True,
@@ -326,6 +387,38 @@ def _two_dc_flows(sim, cfg, seed) -> tuple:
     return topo.net, senders
 
 
+def _fattree_flows(sim, cfg, seed) -> tuple:
+    """Single-DC k=4 fat tree with 8 cross-pod DCTCP flows — every flow
+    traverses the core, where the lossless campaign's pause storms and
+    deadlock probes strike."""
+    size = 1024 * 1024 if cfg["quick"] else 4 * 1024 * 1024
+    conv = parse_convergence(cfg["convergence"])
+    if conv is None:
+        net = Network(sim, seed=seed)
+    else:
+        net = Network(sim, seed=seed, convergence_delay_ps=conv)
+    FatTree(net, FatTreeConfig(k=4, gbps=25.0, link_prop_ps=1 * US,
+                               queue_bytes=256 * 1024,
+                               red=REDConfig(min_frac=0.25, max_frac=0.75)),
+            prefix="dc0")
+    net.build_routes()
+    hosts = net.hosts
+    n = len(hosts)
+    senders: List[Sender] = []
+    for i in range(8):
+        src = hosts[i]
+        dst = hosts[(i + n // 2) % n]  # opposite pod -> via the core
+        senders.append(start_flow(
+            sim, net, DCTCP(), src, dst, size,
+            start_ps=i * 20 * US,
+            base_rtt_ps=12 * US,
+            line_gbps=25.0,
+            abort=_abort_policy(cfg),
+            seed=seed + i,
+        ))
+    return net, senders
+
+
 def run_point(point: ExperimentPoint) -> Dict[str, Any]:
     """Build the point's topology and flows, compile its scenario onto
     the network, run to the horizon, and sweep the run invariants."""
@@ -335,7 +428,7 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
         # Stand-alone runs still get the failure/route/invariant record;
         # under --telemetry the TelemetryContext already attached.
         from repro.obs import enable
-        enable(sim, event_topics=("failure", "route", "invariant"),
+        enable(sim, event_topics=("failure", "route", "invariant", "pfc"),
                profile=False)
 
     if cfg["topo"] == "dumbbell":
@@ -344,19 +437,31 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
         net, senders = _two_dc_flows(sim, cfg, point.seed)
     elif cfg["topo"] == "dual_border":
         net, senders = _dual_border_flows(sim, cfg, point.seed)
+    elif cfg["topo"] == "fattree":
+        net, senders = _fattree_flows(sim, cfg, point.seed)
     else:
         raise ValueError(f"unknown chaos topology {cfg['topo']!r}")
+
+    watchdog = None
+    if cfg.get("fabric") == "lossless":
+        enable_pfc(net, PFCConfig())
+        watchdog = DeadlockWatchdog(sim, net,
+                                    window_ps=WATCHDOG_WINDOW_PS,
+                                    interval_ps=WATCHDOG_INTERVAL_PS,
+                                    until_ps=HORIZON_PS)
 
     scenario = scenario_for(cfg["topo"], cfg["scenario"])
     rng = random.Random(point.seed ^ 0xC4A05)
     targets = scenario.apply(sim, net, rng)
-    if isinstance(scenario, NodeScenario):
+    if isinstance(scenario, (NodeScenario, DeadlockProbe)):
+        # Node scenarios target nodes; the probe returns its cycle.
         cables_hit, nodes_hit = [], [node.name for node in targets]
     else:
         cables_hit, nodes_hit = [ab.name for ab, _ba in targets], []
 
     sim.run(until=HORIZON_PS)
-    violations = check_invariants(sim, net, senders, HORIZON_PS)
+    violations = check_invariants(sim, net, senders, HORIZON_PS,
+                                  watchdog=watchdog)
 
     fcts = [s.stats.fct_ps for s in senders if s.stats.fct_ps is not None]
     completed = sum(1 for s in senders if s.done)
@@ -366,7 +471,17 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
         reason = s.stats.abort_reason
         if reason is not None:
             abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+    pfc: Dict[str, Any] = {}
+    if "fabric" in cfg:
+        pfc = {
+            "fabric": cfg["fabric"],
+            "expect_deadlock": bool(cfg.get("expect_deadlock")),
+            "deadlocks_detected": (len(watchdog.deadlocks)
+                                   if watchdog is not None else 0),
+            **pause_stats(net),
+        }
     return {
+        **pfc,
         "scenario": scenario.describe(),
         "cables_hit": cables_hit,
         "nodes_hit": nodes_hit,
@@ -395,14 +510,27 @@ def run_point(point: ExperimentPoint) -> Dict[str, Any]:
 
 def summarize(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
     """Reduce per-point results to the campaign verdict: total
-    violations and whether every flow in every point completed."""
+    violations and whether every flow in every point completed.
+
+    Lossless cells get PFC bookkeeping: DeadlockProbe cells *expect* a
+    ``cbd_deadlock`` detection, so those reports don't count against the
+    violation total — but a probe cell with zero detections is an
+    *undetected* deadlock, the one outcome the watchdog exists to
+    prevent, and fails the campaign."""
     cells = {}
     total_violations = 0
+    undetected_deadlocks = 0
     all_completed = True
     all_terminal = True
     for name in sorted(results):
         res = results[name]
-        total_violations += res["n_violations"]
+        violations = res["violations"]
+        if res.get("expect_deadlock"):
+            violations = [v for v in violations
+                          if v.get("invariant") != "cbd_deadlock"]
+            if res.get("deadlocks_detected", 0) == 0:
+                undetected_deadlocks += 1
+        total_violations += len(violations)
         aborted = res.get("aborted", 0)
         completed_all = res["completed"] == res["n_flows"]
         all_completed = all_completed and completed_all
@@ -412,16 +540,37 @@ def summarize(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
             "completed": res["completed"],
             "aborted": aborted,
             "n_flows": res["n_flows"],
-            "n_violations": res["n_violations"],
-            "violations": res["violations"],
+            "n_violations": len(violations),
+            "violations": violations,
             "route_patches": res["route_patches"],
             "route_rebuilds": res["route_rebuilds"],
             "max_fct_ms": res["max_fct_ms"],
         }
+        if "fabric" in res:
+            cells[name].update({
+                "fabric": res["fabric"],
+                "expect_deadlock": res.get("expect_deadlock", False),
+                "deadlocks_detected": res.get("deadlocks_detected", 0),
+                "pause_frames_tx": res.get("pause_frames_tx", 0),
+                "pause_frames_rx": res.get("pause_frames_rx", 0),
+                "paused_time_ps": res.get("paused_time_ps", 0),
+            })
+    # Victim-flow spreading: pair each lossless storm cell with its
+    # lossy twin and report the max-FCT slowdown ratio.
+    victim_slowdown = {}
+    for name, cell in cells.items():
+        if not name.endswith("-lossless"):
+            continue
+        twin = cells.get(name[:-len("-lossless")] + "-lossy")
+        if (twin and cell["max_fct_ms"] and twin["max_fct_ms"]):
+            victim_slowdown[name] = round(
+                cell["max_fct_ms"] / twin["max_fct_ms"], 3)
     return {
         "points": cells,
         "n_points": len(cells),
         "total_violations": total_violations,
+        "undetected_deadlocks": undetected_deadlocks,
+        "victim_slowdown": victim_slowdown,
         "all_flows_completed": all_completed,
         # The campaign gate: every flow reached a *terminal* state —
         # completed, or aborted by its connection policy. Stuck flows
@@ -443,12 +592,19 @@ def report(res: Dict[str, Any]) -> None:
               f"{cell['n_violations']:>5} "
               f"{cell['route_patches']:>5} {cell['route_rebuilds']:>7} "
               f"{fct_s:>11}")
-    if res["total_violations"] == 0 and res.get("all_flows_terminal", True):
+    undetected = res.get("undetected_deadlocks", 0)
+    if (res["total_violations"] == 0 and not undetected
+            and res.get("all_flows_terminal", True)):
         verdict = ("all invariants held" if res["all_flows_completed"]
                    else "all invariants held (some flows aborted by policy)")
+    elif undetected:
+        verdict = (f"{undetected} UNDETECTED DEADLOCKS, "
+                   f"{res['total_violations']} violations")
     else:
         verdict = f"{res['total_violations']} INVARIANT VIOLATIONS"
     print(f"  => {res['n_points']} points, {verdict}")
+    for name, ratio in res.get("victim_slowdown", {}).items():
+        print(f"  victim slowdown {name}: {ratio}x vs lossy twin")
 
 
 def run(quick: bool = True, **runner_kwargs) -> Dict[str, Any]:

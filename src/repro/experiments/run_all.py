@@ -35,7 +35,9 @@ keeps every attempt's traceback.
 campaign's scenario x transport grid becomes the point set, the summary
 lands at ``<out>/summaries/chaos-<campaign>.json``, and the exit status
 is non-zero if any point fails, any flow ends non-terminal (neither
-completed nor aborted by policy), or any run invariant is violated. ``--convergence`` selects the control plane for
+completed nor aborted by policy), any run invariant is violated, or a
+seeded deadlock goes undetected (the ``lossless`` campaign's PFC
+DeadlockProbe cells). ``--convergence`` selects the control plane for
 every campaign point: ``default`` (failure-aware rerouting), a number
 (delay in ps; ``0`` = static tables), or ``inf`` (never reroute).
 
@@ -244,7 +246,8 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
     elapsed = sum(r.elapsed_s for r in records)
     print(f"[chaos {args.chaos} done in {elapsed:.1f}s]")
 
-    if failed or res["total_violations"] or not res["all_flows_terminal"]:
+    if (failed or res["total_violations"] or not res["all_flows_terminal"]
+            or res.get("undetected_deadlocks")):
         raise SystemExit(1)
 
 

@@ -42,6 +42,7 @@ TOPICS = (
     "flow",       # flow start / completion
     "invariant",  # chaos-campaign invariant violations
     "span",       # closed flow-lifecycle spans (repro.obs.spans)
+    "pfc",        # PFC pause/resume/xoff/xon and CBD deadlock detections
 )
 
 

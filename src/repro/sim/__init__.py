@@ -14,6 +14,7 @@ The subpackage is organized bottom-up:
 - :mod:`repro.sim.failures` -- link failure schedules and correlated loss models.
 - :mod:`repro.sim.boundary` -- the PacketSink cross-component handoff protocol.
 - :mod:`repro.sim.shard`    -- shard boundaries + conservative parallel sync.
+- :mod:`repro.sim.pfc`      -- lossless-fabric PFC + CBD deadlock watchdog.
 """
 
 from repro.sim.boundary import PacketSink, WiringError
@@ -37,6 +38,12 @@ from repro.sim.link import Link
 from repro.sim.queues import Port, REDConfig, PhantomQueueConfig
 from repro.sim.switch import Switch
 from repro.sim.host import Host
+from repro.sim.pfc import (
+    DeadlockWatchdog,
+    PFCConfig,
+    PFCController,
+    enable_pfc,
+)
 
 __all__ = [
     "PacketSink",
@@ -65,4 +72,8 @@ __all__ = [
     "PhantomQueueConfig",
     "Switch",
     "Host",
+    "DeadlockWatchdog",
+    "PFCConfig",
+    "PFCController",
+    "enable_pfc",
 ]

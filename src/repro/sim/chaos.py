@@ -49,6 +49,7 @@ from repro.sim.failures import (
 )
 from repro.sim.host import Host
 from repro.sim.link import Link
+from repro.sim.packet import make_pause
 from repro.sim.switch import Switch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -387,6 +388,118 @@ class HostCrash(NodeScenario):
 
 
 @dataclass(frozen=True)
+class PauseStorm(Scenario):
+    """A PFC pause storm on the selected cables: both endpoints inject
+    spurious PAUSE frames at each other every ``period_ps`` for
+    ``duration_ps``, each carrying a ``hold_ps`` quantum — the classic
+    misbehaving-NIC / buggy-firmware failure of lossless fabrics. On a
+    lossy fabric (PFC disabled) the frames are counted and ignored; on a
+    lossless one the victim ports freeze repeatedly, spreading congestion
+    upstream. Holds are finite, so the storm always clears after it
+    ends — it degrades, never deadlocks by itself."""
+
+    kind: ClassVar[str] = "pause_storm"
+
+    start_ps: int = 0
+    duration_ps: int = 30_000_000_000  # 30 ms of storming
+    period_ps: int = 200_000_000       # one frame every 200 us
+    hold_ps: int = 100_000_000         # each frame freezes for 100 us
+
+    def __post_init__(self) -> None:
+        if self.period_ps <= 0 or self.hold_ps <= 0:
+            raise ValueError("storm period and hold must be positive")
+        if self.duration_ps < self.period_ps:
+            raise ValueError("storm must last at least one period")
+
+    def _apply_cable(self, sim, cable, rng) -> None:
+        a, b = cable_endpoints(cable)
+        frames = self.duration_ps // self.period_ps
+        for src, dst in ((b, a), (a, b)):
+            # Frames from ``src`` ride the src->dst link and freeze
+            # dst's port back toward src (see Switch._handle_pfc).
+            idx, victim_port = _port_toward(dst, src)
+            carrier = src.ports[(dst.node_id, idx)].link
+            for i in range(frames):
+                sim.at(self.start_ps + i * self.period_ps, _inject_pause,
+                       carrier, src.node_id, dst.node_id, idx, self.hold_ps)
+
+
+@dataclass(frozen=True)
+class DeadlockProbe(Scenario):
+    """Seed a cyclic buffer dependency: find a 4-cycle of switches
+    (deterministically — e.g. core0/agg0/core1/agg1 in a fat-tree, or an
+    edge/agg pod square) and hold a PAUSE on each directed port around
+    it for ``hold_ps``. For the whole hold the cycle of ports makes no
+    transmit progress: exactly the CBD signature the
+    :class:`~repro.sim.pfc.DeadlockWatchdog` must flag. The hold is
+    finite so a *detected* probe still drains before the horizon —
+    the watchdog's report, not a hung simulation, is the outcome."""
+
+    kind: ClassVar[str] = "deadlock_probe"
+
+    at_ps: int = 0
+    hold_ps: int = 60_000_000_000  # 60 ms: far beyond any watchdog window
+
+    def __post_init__(self) -> None:
+        if self.hold_ps <= 0:
+            raise ValueError("probe hold must be positive")
+
+    def apply(self, sim: "Simulator", net: "Network",
+              rng: Optional[random.Random] = None) -> List:
+        cycle = find_switch_cycle(net)
+        n = len(cycle)
+        for i, node in enumerate(cycle):
+            nxt = cycle[(i + 1) % n]
+            # Freeze node's port toward nxt: the PAUSE is sent by nxt
+            # and rides the nxt->node link.
+            idx, _port = _port_toward(node, nxt)
+            carrier = nxt.ports[(node.node_id, idx)].link
+            sim.at(self.at_ps, _inject_pause, carrier, nxt.node_id,
+                   node.node_id, idx, self.hold_ps)
+        return cycle
+
+    def _apply_cable(self, sim, cable, rng) -> None:  # pragma: no cover
+        raise TypeError("DeadlockProbe strikes a switch cycle, not cables")
+
+
+def _port_toward(node, neighbor) -> Tuple[int, Any]:
+    """(parallel index, port) of ``node``'s egress toward ``neighbor``."""
+    for (nbr_id, idx), port in node.ports.items():
+        if nbr_id == neighbor.node_id:
+            return idx, port
+    raise ValueError(
+        f"{node.name} has no port toward {neighbor.name}"
+    )
+
+
+def _inject_pause(link: Link, src: int, dst: int, idx: int,
+                  hold_ps: int) -> None:
+    """Put one PAUSE frame on the wire (scenario injection helper)."""
+    link.transmit_ctrl(make_pause(src, dst, idx, hold_ps))
+
+
+def find_switch_cycle(net: "Network") -> List[Switch]:
+    """A deterministic 4-cycle of switches: the first pair (in network
+    order) sharing two switch neighbors, giving A - c0 - B - c1 - A.
+    Every fat-tree has many (core/agg squares, edge/agg pod squares);
+    raises on cycle-free topologies (e.g. a dumbbell)."""
+    switches = net.switches
+    by_id = {sw.node_id: sw for sw in switches}
+    neighbors = {
+        sw.node_id: sorted({nbr for (nbr, _idx) in sw.ports if nbr in by_id})
+        for sw in switches
+    }
+    for i, a in enumerate(switches):
+        set_a = set(neighbors[a.node_id])
+        for b in switches[i + 1:]:
+            common = [c for c in neighbors[b.node_id]
+                      if c in set_a and c not in (a.node_id, b.node_id)]
+            if len(common) >= 2:
+                return [a, by_id[common[0]], b, by_id[common[1]]]
+    raise ValueError("no 4-cycle of switches on this network")
+
+
+@dataclass(frozen=True)
 class NICFlap(NodeScenario):
     """A host's NIC cables flap — repeated short bidirectional outages —
     while the host itself stays up: connection state survives and flows
@@ -423,7 +536,7 @@ SCENARIO_KINDS = {
     cls.kind: cls
     for cls in (LinkFlap, FiberCut, GreyFailure, LossEpisode,
                 PartitionWindow, SwitchCrash, ToRReboot, HostCrash,
-                NICFlap)
+                NICFlap, PauseStorm, DeadlockProbe)
 }
 
 
@@ -458,14 +571,27 @@ def check_invariants(
     net: "Network",
     senders,
     deadline_ps: int,
+    watchdog=None,
 ) -> List[Dict[str, Any]]:
     """Post-run invariant sweep; returns one dict per violation.
 
     Call after ``sim.run(until=deadline_ps)``. Checks:
 
     - **packet_conservation** — per directed link, packets the port fully
-      serialized equal packets the link delivered + lost to a loss model
-      + killed by failure;
+      serialized plus control frames injected past it (PFC pause/resume,
+      ``link.ctrl_pkts``) equal packets the link delivered + lost to a
+      loss model + killed by failure + still propagating. Bytes held in
+      a *paused* queue never left the port (``enqueued - len(fifo)``),
+      so pause freezes are conservation-neutral: held, not leaked;
+    - **pause_accounting** — each port's byte counter equals the bytes
+      actually sitting in its FIFO (a pause/resume bookkeeping bug
+      would skew one without the other);
+    - **stalled_port** — a port with queued packets, no armed tx event,
+      and no active pause: a frozen serializer nothing will ever re-arm
+      (the pause-freeze analog of a lost wakeup);
+    - **cbd_deadlock** — when a :class:`~repro.sim.pfc.DeadlockWatchdog`
+      is passed, every cycle of paused ports it flagged during the run
+      is appended as a first-class violation;
     - **flow_stuck** — a sender neither completed nor aborted by the
       deadline (aborting is a *terminal* outcome, not a violation);
     - **completion_accounting** — a sender that claims completion without
@@ -489,17 +615,37 @@ def check_invariants(
             link = port.link
             # enqueued_pkts counts only successful enqueues (tail drops
             # never enter the FIFO), so everything enqueued either still
-            # sits in the FIFO or reached the link.
+            # sits in the FIFO — paused bytes included — or reached the
+            # link. Control frames (PFC) enter at the link directly and
+            # are balanced by ctrl_pkts.
             sent = port.enqueued_pkts - len(port._fifo)
             accounted = (link.delivered_pkts + link.lost_pkts
                          + link.failed_drops + link.inflight_pkts)
-            if sent != accounted:
+            if sent + link.ctrl_pkts != accounted:
                 violations.append({
                     "invariant": "packet_conservation",
                     "link": link.name,
                     "sent": sent,
+                    "ctrl_pkts": link.ctrl_pkts,
                     "accounted": accounted,
                 })
+            fifo_bytes = sum(p.size for p in port._fifo)
+            if fifo_bytes != port.bytes_queued:
+                violations.append({
+                    "invariant": "pause_accounting",
+                    "port": port.name,
+                    "bytes_queued": port.bytes_queued,
+                    "fifo_bytes": fifo_bytes,
+                })
+            if port._fifo and not port._busy and not port.paused:
+                violations.append({
+                    "invariant": "stalled_port",
+                    "port": port.name,
+                    "queued_pkts": len(port._fifo),
+                })
+
+    if watchdog is not None:
+        violations.extend(watchdog.deadlocks)
 
     for sender in senders:
         stats = sender.stats

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Protocol, Tuple
 
 from repro.sim.node import FailureDomain
-from repro.sim.packet import DATA, Packet, default_pool
+from repro.sim.packet import CNP, DATA, PAUSE, Packet, default_pool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -159,6 +159,16 @@ class Host(FailureDomain):
         """
         if not self.up:
             self._count_down_drop()
+            return
+        if pkt.kind > CNP:
+            # PFC PAUSE/RESUME from the edge switch: freeze/release the
+            # NIC uplink. Hosts honor pause but never originate it.
+            port = self.ports.get((pkt.src, pkt.seq))
+            if port is not None:
+                if pkt.kind == PAUSE:
+                    port.pause(pkt.payload)
+                else:
+                    port.resume()
             return
         self.rx_pkts += 1
         endpoint = self.endpoints.get(pkt.flow_id)

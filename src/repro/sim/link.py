@@ -53,6 +53,7 @@ class Link:
         "delivered_pkts",
         "lost_pkts",
         "failed_drops",
+        "ctrl_pkts",
         "failures",
         "on_state_change",
         "_obs",
@@ -89,6 +90,7 @@ class Link:
         self.delivered_pkts = 0
         self.lost_pkts = 0
         self.failed_drops = 0
+        self.ctrl_pkts = 0  # control frames injected past the port (PFC)
         self.failures = 0  # administrative fail() transitions
         # Packets in flight: (deliver_ps, reserved seq, pkt), FIFO by
         # construction. _drain_handle is one perpetual EventHandle,
@@ -110,6 +112,7 @@ class Link:
         registry.gauge(f"{base}.delivered_pkts", lambda: self.delivered_pkts)
         registry.gauge(f"{base}.lost_pkts", lambda: self.lost_pkts)
         registry.gauge(f"{base}.failed_drops", lambda: self.failed_drops)
+        registry.gauge(f"{base}.ctrl_pkts", lambda: self.ctrl_pkts)
         registry.gauge(f"{base}.failures", lambda: self.failures)
         registry.gauge(f"{base}.up", lambda: self.up)
 
@@ -181,6 +184,21 @@ class Link:
                     heappush(sim._heap, (t, s, handle))
         else:
             sim.after(self.prop_ps, self._deliver, pkt)
+
+    def transmit_ctrl(self, pkt: Packet) -> None:
+        """Inject a MAC control frame (PFC PAUSE/RESUME) onto the wire.
+
+        Control frames bypass the egress :class:`~repro.sim.queues.Port`
+        entirely — PFC runs at the highest priority, so even a paused
+        port's link still carries them. They are counted in
+        ``ctrl_pkts`` so the chaos conservation invariant can balance
+        packets the port serialized against packets the link saw
+        (``sent + ctrl_pkts == delivered + lost + failed + inflight``).
+        Serialization time for the 64-byte frame is folded into the
+        propagation delay.
+        """
+        self.ctrl_pkts += 1
+        self.transmit(pkt)
 
     def _drain(self) -> None:
         """Deliver every due in-flight packet, re-arm for the next head.

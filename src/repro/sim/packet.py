@@ -24,10 +24,13 @@ DATA = 0
 ACK = 1
 NACK = 2
 CNP = 3  # Annulus-style near-source congestion notification (extension)
+PAUSE = 4   # PFC XOFF: freeze the receiver's port back toward the sender
+RESUME = 5  # PFC XON: release a previously paused port
 
 ACK_SIZE = 64  # bytes on the wire for ACK/NACK/CNP control packets
 
-_KIND_NAMES = {DATA: "DATA", ACK: "ACK", NACK: "NACK", CNP: "CNP"}
+_KIND_NAMES = {DATA: "DATA", ACK: "ACK", NACK: "NACK", CNP: "CNP",
+               PAUSE: "PAUSE", RESUME: "RESUME"}
 
 
 class Packet:
@@ -240,3 +243,22 @@ def make_nack(flow_id: int, src: int, dst: int, block_id: int) -> Packet:
     nack = Packet(NACK, flow_id, src=src, dst=dst, seq=-1, size=ACK_SIZE)
     nack.nack_block = block_id
     return nack
+
+
+def make_pause(src: int, dst: int, link_index: int, hold_ps: int = 0) -> Packet:
+    """Build a PFC PAUSE frame from node ``src`` to neighbor ``dst``.
+
+    ``link_index`` is the parallel-cable index: the receiver pauses its
+    egress port keyed ``(src, link_index)`` — the port feeding the cable
+    the frame arrived on. ``hold_ps`` carries the pause quantum in
+    picoseconds (``payload``); 0 pauses until an explicit RESUME.
+    """
+    pause = Packet(PAUSE, flow_id=-1, src=src, dst=dst,
+                   seq=link_index, size=ACK_SIZE, payload=hold_ps)
+    return pause
+
+
+def make_resume(src: int, dst: int, link_index: int) -> Packet:
+    """Build a PFC RESUME frame releasing the port a PAUSE froze."""
+    return Packet(RESUME, flow_id=-1, src=src, dst=dst,
+                  seq=link_index, size=ACK_SIZE)

@@ -162,6 +162,17 @@ class Port:
         "_red_max_th",
         "_red_span",
         "_tx_handle",
+        "pfc",
+        "pfc_enabled",
+        "_paused",
+        "_pause_until",
+        "_pause_handle",
+        "_pause_started_ps",
+        "paused_time_ps",
+        "pause_frames_rx",
+        "_xoff",
+        "_xoff_bytes",
+        "_xon_bytes",
     )
 
     def __init__(
@@ -210,6 +221,21 @@ class Port:
         # The one perpetual serialization event: allocated on the first
         # transmission, re-armed (never re-allocated) for every later one.
         self._tx_handle = None
+        # PFC (lossless fabric) state. Disabled by default: the hot path
+        # then costs one is-None / bool test per packet. configure_pfc()
+        # arms the thresholds; ``pfc`` is the owning node's controller
+        # (None on host NICs — they honor pause but never originate it).
+        self.pfc = None
+        self.pfc_enabled = False
+        self._paused = False
+        self._pause_until: Optional[int] = None
+        self._pause_handle = None
+        self._pause_started_ps = 0
+        self.paused_time_ps = 0
+        self.pause_frames_rx = 0
+        self._xoff = False
+        self._xoff_bytes = 0
+        self._xon_bytes = 0
         # Optional callable(port, event, pkt, info): fired on "drop" and
         # "mark"; for marks ``info`` carries the decision
         # {"phys": bool, "phantom": bool} (a mark may come from both).
@@ -240,6 +266,8 @@ class Port:
         registry.gauge(f"{base}.tx_bytes", lambda: self.tx_bytes)
         registry.gauge(f"{base}.queued_pkts", lambda: len(self._fifo))
         registry.gauge(f"{base}.queued_bytes", lambda: self.bytes_queued)
+        registry.gauge(f"{base}.pause_frames_rx", lambda: self.pause_frames_rx)
+        registry.gauge(f"{base}.paused_time_ps", lambda: self.paused_time_ps)
 
     def enable_int(self, t_ref_ps: int) -> None:
         """Turn on INT stamping with HPCC's base-RTT reference ``T``."""
@@ -329,6 +357,10 @@ class Port:
         self._fifo.append(pkt)
         self.bytes_queued = occupancy + size
         if not self._busy:
+            if self._paused:
+                # PFC froze the serializer: the packet is held in the
+                # FIFO (not lost) until resume() restarts transmission.
+                return True
             # Idle port: the packet just appended is the head; start its
             # serialization. Same arithmetic as units.ser_time_ps,
             # inlined — it must stay bit-identical to it.
@@ -346,6 +378,11 @@ class Port:
                 sim._seq = seq = sim._seq + 1
                 handle.time = t = now + ser
                 heappush(sim._heap, (t, seq, handle))
+        pfc = self.pfc
+        if (pfc is not None and not self._xoff
+                and self.bytes_queued >= self._xoff_bytes):
+            self._xoff = True
+            pfc.on_xoff(self)
         return True
 
     def _finish_tx(self) -> None:
@@ -357,7 +394,17 @@ class Port:
         if self.int_t_ref_ps is not None:
             self._stamp_int(pkt)
         self._sink.receive(pkt)
-        if fifo:
+        pfc = self.pfc
+        if (pfc is not None and self._xoff
+                and self.bytes_queued <= self._xon_bytes):
+            self._xoff = False
+            pfc.on_xon(self)
+        if self._paused:
+            # Packet-boundary pause semantics: the frame that was mid-
+            # serialization when the PAUSE arrived completes; the next
+            # head waits for resume() to re-arm the tx event.
+            self._busy = False
+        elif fifo:
             # Back-to-back serialization: re-arm the one tx event for the
             # next head (allocation-free; same (time, seq) the per-packet
             # schedule would draw; sim.rearm inlined as in enqueue).
@@ -388,6 +435,131 @@ class Port:
         )
         if util > pkt.int_util:
             pkt.int_util = util
+
+    # -- PFC pause/resume ------------------------------------------------
+
+    def configure_pfc(self, xoff_frac: float, xon_frac: float,
+                      controller=None) -> None:
+        """Arm PFC on this port.
+
+        The port then honors PAUSE/RESUME frames (freezing its drain at
+        packet boundaries), and — when ``controller`` is a node's
+        :class:`~repro.sim.pfc.PFCController` — originates XOFF when the
+        queue crosses ``xoff_frac`` of capacity and XON when it drains
+        back below ``xon_frac``. Host NICs pass ``controller=None``:
+        they obey pause but never ask anyone else to stop.
+        """
+        if not 0.0 < xon_frac <= xoff_frac <= 1.0:
+            raise ValueError(
+                f"invalid PFC thresholds: xon={xon_frac} xoff={xoff_frac} "
+                "(need 0 < xon <= xoff <= 1)"
+            )
+        self.pfc_enabled = True
+        self._xoff_bytes = xoff_frac * self.capacity_bytes
+        self._xon_bytes = xon_frac * self.capacity_bytes
+        self.pfc = controller
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def pause_started_ps(self) -> int:
+        """When the current pause began (meaningful only while paused)."""
+        return self._pause_started_ps
+
+    def total_paused_ps(self, now_ps: Optional[int] = None) -> int:
+        """Accumulated paused time, including any still-open pause."""
+        total = self.paused_time_ps
+        if self._paused:
+            now = self.sim.now if now_ps is None else now_ps
+            total += now - self._pause_started_ps
+        return total
+
+    def pause(self, hold_ps: int = 0) -> None:
+        """Honor a PFC PAUSE frame.
+
+        Freezes the serializer at the next packet boundary (the frame
+        currently on the wire finishes, as real PFC lets the in-progress
+        frame complete). ``hold_ps > 0`` auto-resumes after that quantum
+        unless refreshed; ``hold_ps == 0`` pauses until an explicit
+        RESUME, and outranks any pending timed hold. Ports without
+        ``pfc_enabled`` (a lossy fabric under a pause storm) count the
+        frame and ignore it.
+        """
+        self.pause_frames_rx += 1
+        if not self.pfc_enabled:
+            return
+        sim = self.sim
+        now = sim.now
+        was_paused = self._paused
+        if not was_paused:
+            self._paused = True
+            self._pause_started_ps = now
+            ev = self._events
+            if ev is not None and ev.wants("pfc"):
+                ev.emit("pfc", "pause", t=now, port=self.name,
+                        queued_bytes=self.bytes_queued)
+        if hold_ps > 0:
+            if was_paused and self._pause_until is None:
+                return  # indefinitely paused; a quantum can't shorten it
+            until = now + hold_ps
+            if self._pause_until is None or until > self._pause_until:
+                self._pause_until = until
+                if self._pause_handle is None:
+                    self._pause_handle = sim.at(until, self._pause_expire)
+                # else: the armed check fires earlier and re-schedules.
+        else:
+            self._pause_until = None
+            handle = self._pause_handle
+            if handle is not None:
+                handle.cancel()
+                self._pause_handle = None
+
+    def _pause_expire(self) -> None:
+        self._pause_handle = None
+        until = self._pause_until
+        if not self._paused or until is None:
+            return
+        if self.sim.now >= until:
+            self.resume()
+        else:
+            # The hold was extended after this check was armed.
+            self._pause_handle = self.sim.at(until, self._pause_expire)
+
+    def resume(self) -> None:
+        """Release a pause (explicit RESUME frame or quantum expiry) and
+        restart the frozen serializer if packets are waiting."""
+        if not self._paused:
+            return
+        sim = self.sim
+        now = sim.now
+        self._paused = False
+        self._pause_until = None
+        handle = self._pause_handle
+        if handle is not None:
+            handle.cancel()
+            self._pause_handle = None
+        self.paused_time_ps += now - self._pause_started_ps
+        ev = self._events
+        if ev is not None and ev.wants("pfc"):
+            ev.emit("pfc", "resume", t=now, t0=self._pause_started_ps,
+                    port=self.name, queued_bytes=self.bytes_queued)
+        fifo = self._fifo
+        if fifo and not self._busy:
+            # Re-arm the one perpetual tx event for the held head packet
+            # (same inlined ser-time arithmetic as enqueue/_finish_tx).
+            self._busy = True
+            ser = round(fifo[0].size * 8000 / self._gbps)
+            if ser < 1:
+                ser = 1
+            tx = self._tx_handle
+            if tx is None:
+                self._tx_handle = sim.after(ser, self._finish_tx)
+            else:
+                sim._seq = seq = sim._seq + 1
+                tx.time = t = now + ser
+                heappush(sim._heap, (t, seq, tx))
 
     # PacketSink conformance: handing a packet to a port means offering
     # it to the egress queue (upstream callers ignore the drop bool).

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from dataclasses import dataclass
 
 from repro.sim.node import FailureDomain
-from repro.sim.packet import DATA, Packet, make_cnp
+from repro.sim.packet import CNP, DATA, PAUSE, Packet, make_cnp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -86,6 +86,8 @@ class Switch(FailureDomain):
         "attached_links",
         "down_node_drops",
         "_hash_cache",
+        "pfc",
+        "pfc_frames_rx",
     )
 
     MODES = ("ecmp", "rps")
@@ -121,6 +123,9 @@ class Switch(FailureDomain):
         # full hash (not the modulo) is stored so the choice stays
         # correct when failures shrink the equal-cost set.
         self._hash_cache: Dict[Tuple[int, int, int, int], int] = {}
+        # PFC controller (repro.sim.pfc.enable_pfc); None = lossy fabric.
+        self.pfc = None
+        self.pfc_frames_rx = 0
         self._init_failure_domain()
         obs = sim.obs
         if obs is not None:
@@ -155,6 +160,12 @@ class Switch(FailureDomain):
             # only when a cable into the dead node is up (e.g. restored
             # by an independent link-level scenario).
             self._count_down_drop()
+            return
+        if pkt.kind > CNP:
+            # PFC PAUSE/RESUME terminate here: MAC control frames are
+            # hop-local, never forwarded. One int compare per packet is
+            # the whole cost on lossy fabrics.
+            self._handle_pfc(pkt)
             return
         self.rx_pkts += 1
         pkt.hops += 1
@@ -201,6 +212,23 @@ class Switch(FailureDomain):
         ):
             self._maybe_send_cnp(pkt)
         port.receive(pkt)
+
+    def _handle_pfc(self, pkt: Packet) -> None:
+        """Apply a PAUSE/RESUME to the egress port feeding its sender.
+
+        The frame's ``src`` is the pausing neighbor and ``seq`` the
+        parallel-cable index, so the target is exactly this switch's
+        port onto the cable the frame arrived on. Frames for unknown
+        ports (sender crashed and was unwired mid-flight) are ignored.
+        """
+        self.pfc_frames_rx += 1
+        port = self.ports.get((pkt.src, pkt.seq))
+        if port is None:
+            return
+        if pkt.kind == PAUSE:
+            port.pause(pkt.payload)
+        else:
+            port.resume()
 
     def _maybe_send_cnp(self, pkt: Packet) -> None:
         now = self.sim.now

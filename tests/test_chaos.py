@@ -199,6 +199,19 @@ class TestSelectors:
             any("core" in ln.name for ln in c) for c in core)
 
 
+def _all_scenario_classes():
+    """Every concrete Scenario subclass (abstract bases have kind '')."""
+    from repro.sim.chaos import Scenario
+
+    found, stack = [], [Scenario]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if cls is not Scenario and cls.kind:
+            found.append(cls)
+    return sorted(found, key=lambda c: c.kind)
+
+
 class TestScenarios:
     @pytest.mark.parametrize("scenario", [
         LinkFlap(start_ps=1, down_ps=2, period_ps=5, flaps=3, k=2),
@@ -212,13 +225,37 @@ class TestScenarios:
         assert rebuilt == scenario
         assert rebuilt.describe() == scenario.describe()
 
+    @pytest.mark.parametrize(
+        "cls", _all_scenario_classes(),
+        ids=lambda c: c.kind)
+    def test_every_scenario_subclass_round_trips(self, cls):
+        """Each concrete subclass survives describe() ->
+        scenario_from_dict() with its defaults AND with every field
+        perturbed, so new scenarios can't ship unserializable."""
+        scenario = cls()
+        rebuilt = scenario_from_dict(scenario.describe())
+        assert rebuilt == scenario
+        assert rebuilt.describe() == scenario.describe()
+        # Perturb every positive-int field; re-round-trip.
+        tweaked = dict(scenario.describe())
+        for key, value in list(tweaked.items()):
+            if key != "kind" and isinstance(value, int) \
+                    and not isinstance(value, bool) and value > 0:
+                tweaked[key] = value + 1
+        rebuilt2 = scenario_from_dict(tweaked)
+        assert rebuilt2.describe() == tweaked
+
+    def test_every_registered_kind_has_a_class(self):
+        assert {c.kind for c in _all_scenario_classes()} == \
+            set(SCENARIO_KINDS)
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario kind"):
             scenario_from_dict({"kind": "meteor_strike"})
         assert set(SCENARIO_KINDS) == {
             "link_flap", "fiber_cut", "grey_failure", "loss_episode",
             "partition_window", "switch_crash", "tor_reboot", "host_crash",
-            "nic_flap"}
+            "nic_flap", "pause_storm", "deadlock_probe"}
 
     def test_flap_validation(self):
         with pytest.raises(ValueError):
@@ -329,6 +366,28 @@ class TestCampaigns:
         assert parse_convergence(0) == 0.0
         assert parse_convergence("12500") == 12500.0
 
+    def test_bogus_convergence_rejected_eagerly(self):
+        """Validated when points are built, not per-point at runtime."""
+        with pytest.raises(ValueError, match="invalid convergence"):
+            campaign_points("smoke", convergence="bogus")
+
+    def test_lossless_points_carry_fabric_axis(self):
+        pts = campaign_points("lossless")
+        assert len(pts) == 8
+        for p in pts:
+            assert p.cfg["fabric"] in ("lossy", "lossless")
+            assert p.name.endswith(f"-{p.cfg['fabric']}")
+            assert p.cfg["expect_deadlock"] == \
+                (p.cfg["scenario"] == "deadlock_probe")
+        probes = [p for p in pts if p.cfg["expect_deadlock"]]
+        assert len(probes) == 2
+        assert all(p.cfg["fabric"] == "lossless" for p in probes)
+
+    def test_legacy_cells_keep_their_configs(self):
+        # 3-tuple cells must stay byte-identical (on-disk cache keys).
+        for p in campaign_points("smoke"):
+            assert "fabric" not in p.cfg and "expect_deadlock" not in p.cfg
+
     def test_unknown_topo_and_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown chaos topology"):
             scenario_for("ring", "flap")
@@ -356,3 +415,19 @@ class TestCampaigns:
         kinds = {v["invariant"] for v in res["violations"]}
         assert "flow_stuck" in kinds
         assert res["route_patches"] == res["route_rebuilds"] == 0
+
+    def test_lossless_probe_cell_detects_and_completes(self):
+        """The seeded-CBD acceptance cell: the watchdog flags the cycle
+        within its window, the hold expires, and every flow still
+        completes before the horizon — a detection, never a hang."""
+        point = next(p for p in campaign_points("lossless")
+                     if p.cfg["topo"] == "fattree"
+                     and p.cfg["expect_deadlock"])
+        res = run_point(point)
+        assert res["deadlocks_detected"] == 1
+        assert res["completed"] == res["n_flows"]
+        # The only violations are the expected cbd_deadlock reports.
+        assert {v["invariant"] for v in res["violations"]} <= \
+            {"cbd_deadlock"}
+        assert res["pause_frames_rx"] >= 4
+        assert res["paused_time_ps"] > 0

@@ -101,8 +101,18 @@ class TestChaosCLI:
             run_all.main(["--chaos", "smoke", "--only", "fig1"])
 
     def test_unknown_campaign_rejected(self, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as exc:
             run_all.main(["--chaos", "nope"])
+        assert exc.value.code == 2  # argparse usage error, not a crash
+        assert "choose from" in capsys.readouterr().err
+
+    def test_bogus_convergence_rejected_eagerly(self, capsys):
+        """An unparsable --convergence must die at argument time (exit
+        2 with a hint), not per-point at runtime."""
+        with pytest.raises(SystemExit) as exc:
+            run_all.main(["--chaos", "smoke", "--convergence", "bogus"])
+        assert exc.value.code == 2
+        assert "invalid convergence" in capsys.readouterr().err
 
     def test_negative_retries_rejected(self, capsys):
         with pytest.raises(SystemExit):

@@ -228,6 +228,80 @@ class TestDashboardConsumer:
             "all_flows_terminal": False}))
         assert dash.main([str(out)]) == 1
 
+    def test_empty_out_dir_renders_stubs_and_writes_html(
+            self, tmp_path, capsys):
+        """Graceful degradation: no campaign.jsonl, no summaries, no
+        BENCH data — every section renders a stub and the HTML report
+        is still written."""
+        dash = _load_dashboard()
+        out = tmp_path / "empty_out"
+        out.mkdir()
+        html_path = tmp_path / "report.html"
+        rc = dash.main([str(out), "--html", str(html_path),
+                        "--bench-dir", str(tmp_path / "nowhere")])
+        assert rc == 0  # nothing failed; nothing to gate on
+        text = capsys.readouterr().out
+        assert "(no campaign.jsonl yet)" in text
+        assert "(no chaos summaries yet)" in text
+        assert "no BENCH_*.json" in text
+        report = html_path.read_text()
+        assert "No campaign stream found" in report
+        assert "No chaos summaries yet" in report
+        assert "No BENCH_*.json" in report
+
+    def test_corrupt_bench_records_tolerated(self, tmp_path):
+        """Non-dict history lines and rate-less records render as data
+        gaps, not crashes."""
+        dash = _load_dashboard()
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "BENCH_history.jsonl").write_text(
+            '"just a string"\n'
+            '[1, 2, 3]\n'
+            '{"name": "fattree_perm", "events_per_sec": 1000.0}\n'
+            '{"name": "fattree_perm", "events_per_sec": "oops"}\n')
+        series = dash.bench_records(bench)
+        assert list(series) == ["fattree_perm"]
+        assert dash._bench_values(series["fattree_perm"]) == [1000.0, 0.0]
+        assert "polyline" in dash._svg_series([1000.0, 0.0])
+
+    def test_pfc_section_and_undetected_deadlock_gate(
+            self, tmp_path, capsys):
+        dash = _load_dashboard()
+        out = tmp_path / "out"
+        (out / "summaries").mkdir(parents=True)
+        summary = {
+            "n_points": 2, "total_violations": 0,
+            "all_flows_terminal": True, "undetected_deadlocks": 0,
+            "victim_slowdown": {"lossless/x-lossless": 1.4},
+            "points": {
+                "lossless/x-lossless": {
+                    "fabric": "lossless", "expect_deadlock": True,
+                    "deadlocks_detected": 1, "pause_frames_rx": 4,
+                    "paused_time_ps": 240_000_000_000},
+                "lossless/x-lossy": {
+                    "fabric": "lossy", "expect_deadlock": False,
+                    "deadlocks_detected": 0, "pause_frames_rx": 4,
+                    "paused_time_ps": 0},
+            },
+        }
+        (out / "summaries" / "chaos-lossless.json").write_text(
+            json.dumps(summary))
+        html_path = tmp_path / "report.html"
+        assert dash.main([str(out), "--html", str(html_path),
+                          "--bench-dir", str(tmp_path / "nb")]) == 0
+        text = capsys.readouterr().out
+        assert "lossless fabric (PFC):" in text
+        assert "victim slowdown" in text and "1.4x" in text
+        report = html_path.read_text()
+        assert "Lossless fabric (PFC)" in report
+        # An undetected seeded deadlock fails the dashboard gate too.
+        summary["undetected_deadlocks"] = 1
+        (out / "summaries" / "chaos-lossless.json").write_text(
+            json.dumps(summary))
+        assert dash.main([str(out)]) == 1
+        assert "UNDETECTED" in capsys.readouterr().out
+
 
 class TestShardedTelemetryIntegration:
     def test_inline_two_shard_trace_conserves_and_stitches(self, tmp_path):

@@ -197,12 +197,14 @@ def bench_records(bench_dir: Path) -> Dict[str, List[Dict[str, Any]]]:
     history entry."""
     series: Dict[str, List[Dict[str, Any]]] = {}
     for rec in read_jsonl_file(bench_dir / "BENCH_history.jsonl"):
+        if not isinstance(rec, dict):
+            continue  # corrupt history line: tolerate, keep the rest
         name = rec.get("name")
         if name:
             series.setdefault(name, []).append(rec)
     for path in sorted(bench_dir.glob("BENCH_*.json")):
         rec = read_json(path)
-        if not rec or "name" not in rec:
+        if not isinstance(rec, dict) or "name" not in rec:
             continue
         runs = series.setdefault(rec["name"], [])
         if not runs or runs[-1].get("timestamp") != rec.get("timestamp"):
@@ -258,18 +260,51 @@ def render_campaign(state: CampaignState, lines: List[str]) -> None:
 
 def render_chaos(rows: List[Tuple[str, Dict[str, Any]]],
                  lines: List[str]) -> None:
-    if not rows:
-        return
     lines.append("")
     lines.append("chaos invariants:")
+    if not rows:
+        lines.append("  (no chaos summaries yet)")
+        return
     for name, data in rows:
         verdict = ("OK" if data.get("total_violations", 0) == 0
                    and data.get("all_flows_terminal", False)
+                   and not data.get("undetected_deadlocks", 0)
                    else "VIOLATED")
         lines.append(f"  {name}: {data.get('n_points', 0)} points, "
                      f"{data.get('total_violations', 0)} violations, "
                      f"terminal={data.get('all_flows_terminal')} "
                      f"-> {verdict}")
+
+
+def render_pfc(rows: List[Tuple[str, Dict[str, Any]]],
+               lines: List[str]) -> None:
+    """PFC / lossless-fabric section, fed by chaos summaries whose
+    cells carry a ``fabric`` axis (the ``lossless`` campaign)."""
+    cells = [(cname, pname, cell)
+             for cname, data in rows
+             for pname, cell in data.get("points", {}).items()
+             if "fabric" in cell]
+    if not cells:
+        return
+    lines.append("")
+    lines.append("lossless fabric (PFC):")
+    lines.append(f"  {'point':<46} {'fabric':>8} {'pauseRx':>8} "
+                 f"{'paused(ms)':>10} {'cbd':>4}")
+    for _cname, pname, cell in cells:
+        det = cell.get("deadlocks_detected", 0)
+        cbd = (f"{det}!" if det and not cell.get("expect_deadlock")
+               else str(det))
+        lines.append(f"  {pname:<46} {cell.get('fabric', '?'):>8} "
+                     f"{cell.get('pause_frames_rx', 0):>8} "
+                     f"{cell.get('paused_time_ps', 0) / 1e9:>10.2f} "
+                     f"{cbd:>4}")
+    for _cname, data in rows:
+        for pname, ratio in data.get("victim_slowdown", {}).items():
+            lines.append(f"  victim slowdown {pname}: {ratio}x vs lossy")
+        undetected = data.get("undetected_deadlocks", 0)
+        if undetected:
+            lines.append(f"  {undetected} seeded deadlock(s) went "
+                         f"UNDETECTED")
 
 
 def render_sharded(summary: Optional[Dict[str, Any]],
@@ -331,17 +366,27 @@ def render_waterfall(events: List[Dict[str, Any]], flow: int,
         lines.append(f"    [{''.join(row)}] {tag} {label}")
 
 
+def _bench_values(runs: List[Dict[str, Any]]) -> List[float]:
+    """Numeric series for one bench scenario, tolerating records whose
+    rate fields are missing or corrupt (rendered as 0)."""
+    values = []
+    for r in runs:
+        v = r.get("builds_per_sec") or r.get("events_per_sec", 0.0)
+        values.append(float(v) if isinstance(v, (int, float)) else 0.0)
+    return values
+
+
 def render_bench(series: Dict[str, List[Dict[str, Any]]],
                  lines: List[str]) -> None:
-    if not series:
-        return
     lines.append("")
     lines.append("bench trajectory (events/sec; builds/sec for "
                  "topo_build):")
+    if not series:
+        lines.append("  (no BENCH_*.json / BENCH_history.jsonl records)")
+        return
     for name in sorted(series):
         runs = series[name]
-        values = [r.get("builds_per_sec") or r.get("events_per_sec", 0.0)
-                  for r in runs]
+        values = _bench_values(runs)
         latest = values[-1]
         lines.append(f"  {name:<22} {latest:>12,.0f}  "
                      f"{sparkline(values)}  ({len(values)} runs)")
@@ -354,6 +399,7 @@ def render_terminal(out: Path, state: CampaignState, bench_dir: Path,
     render_campaign(state, lines)
     chaos = chaos_summaries(out)
     render_chaos(chaos, lines)
+    render_pfc(chaos, lines)
     summary = sharded_summary(out)
     meta = trace_meta(out)
     render_sharded(summary, meta, lines)
@@ -374,7 +420,8 @@ def render_terminal(out: Path, state: CampaignState, bench_dir: Path,
     gate_ok = state.ok
     for _, data in chaos:
         if data.get("total_violations", 0) or \
-                not data.get("all_flows_terminal", True):
+                not data.get("all_flows_terminal", True) or \
+                data.get("undetected_deadlocks", 0):
             gate_ok = False
     if summary is not None:
         if not summary.get("equivalent", True):
@@ -508,14 +555,18 @@ def render_html(out: Path, state: CampaignState, bench_dir: Path,
 
     # Chaos invariants.
     chaos = chaos_summaries(out)
-    if chaos:
-        parts.append("<h2>Chaos invariants</h2><table>"
+    parts.append("<h2>Chaos invariants</h2>")
+    if not chaos:
+        parts.append("<p>No chaos summaries yet.</p>")
+    else:
+        parts.append("<table>"
                      "<tr><th>campaign</th><th>points</th>"
                      "<th>violations</th><th>terminal</th>"
                      "<th>verdict</th></tr>")
         for name, data in chaos:
             ok = (data.get("total_violations", 0) == 0
-                  and data.get("all_flows_terminal", False))
+                  and data.get("all_flows_terminal", False)
+                  and not data.get("undetected_deadlocks", 0))
             parts.append(
                 f"<tr><td>{esc(name)}</td>"
                 f"<td>{data.get('n_points', 0)}</td>"
@@ -523,6 +574,35 @@ def render_html(out: Path, state: CampaignState, bench_dir: Path,
                 f"<td>{data.get('all_flows_terminal')}</td>"
                 f"<td>{verdict_html(ok, 'OK', 'VIOLATED')}</td></tr>")
         parts.append("</table>")
+
+    # Lossless fabric / PFC (cells carrying a fabric axis).
+    pfc_cells = [(pname, cell)
+                 for _cname, data in chaos
+                 for pname, cell in data.get("points", {}).items()
+                 if "fabric" in cell]
+    if pfc_cells:
+        parts.append("<h2>Lossless fabric (PFC)</h2><table>"
+                     "<tr><th>point</th><th>fabric</th>"
+                     "<th>pause rx</th><th>paused (ms)</th>"
+                     "<th>CBD deadlocks</th></tr>")
+        for pname, cell in pfc_cells:
+            det = cell.get("deadlocks_detected", 0)
+            expected = cell.get("expect_deadlock", False)
+            det_html = (verdict_html(bool(det), f"{det} (expected)",
+                                     "0 UNDETECTED")
+                        if expected else str(det))
+            parts.append(
+                f"<tr><td class='mono'>{esc(pname)}</td>"
+                f"<td>{esc(str(cell.get('fabric', '?')))}</td>"
+                f"<td>{cell.get('pause_frames_rx', 0)}</td>"
+                f"<td>{cell.get('paused_time_ps', 0) / 1e9:.2f}</td>"
+                f"<td>{det_html}</td></tr>")
+        parts.append("</table>")
+        for _cname, data in chaos:
+            for pname, ratio in data.get("victim_slowdown", {}).items():
+                parts.append(f"<p>victim slowdown "
+                             f"<span class='mono'>{esc(pname)}</span>: "
+                             f"{ratio}x vs lossy twin</p>")
 
     # Sharded trace.
     summary = sharded_summary(out)
@@ -568,12 +648,14 @@ def render_html(out: Path, state: CampaignState, bench_dir: Path,
 
     # Bench trajectory.
     series = bench_records(bench_dir)
-    if series:
-        parts.append("<h2>Bench trajectory</h2>")
+    parts.append("<h2>Bench trajectory</h2>")
+    if not series:
+        parts.append("<p>No BENCH_*.json / BENCH_history.jsonl records "
+                     "found.</p>")
+    else:
         for name in sorted(series):
             runs = series[name]
-            values = [r.get("builds_per_sec")
-                      or r.get("events_per_sec", 0.0) for r in runs]
+            values = _bench_values(runs)
             unit = ("builds/s" if runs[-1].get("builds_per_sec")
                     else "events/s")
             parts.append(

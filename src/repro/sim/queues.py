@@ -356,11 +356,11 @@ class Port:
                     flow=pkt.flow_id, seq=pkt.seq, size=size)
         self._fifo.append(pkt)
         self.bytes_queued = occupancy + size
-        if not self._busy:
-            if self._paused:
-                # PFC froze the serializer: the packet is held in the
-                # FIFO (not lost) until resume() restarts transmission.
-                return True
+        if not self._busy and not self._paused:
+            # (When paused, the packet stays held in the FIFO — not lost
+            # — until resume() restarts the serializer; the port must
+            # still fall through to the XOFF check below so a filling
+            # paused queue back-pressures upstream.)
             # Idle port: the packet just appended is the head; start its
             # serialization. Same arithmetic as units.ser_time_ps,
             # inlined — it must stay bit-identical to it.
@@ -560,6 +560,14 @@ class Port:
                 sim._seq = seq = sim._seq + 1
                 tx.time = t = now + ser
                 heappush(sim._heap, (t, seq, tx))
+        # A queue already above XOFF when the pause lifts must pause
+        # upstream now, not on the next enqueue: it drains at line rate
+        # while neighbors would otherwise keep transmitting into it.
+        pfc = self.pfc
+        if (pfc is not None and not self._xoff
+                and self.bytes_queued >= self._xoff_bytes):
+            self._xoff = True
+            pfc.on_xoff(self)
 
     # PacketSink conformance: handing a packet to a port means offering
     # it to the egress queue (upstream callers ignore the drop bool).

@@ -47,6 +47,20 @@ class Sink:
         self.received.append(pkt)
 
 
+class RecordingController:
+    """Duck-typed PFCController: records XOFF/XON originations."""
+
+    def __init__(self):
+        self.xoff_ports = []
+        self.xon_ports = []
+
+    def on_xoff(self, port):
+        self.xoff_ports.append(port)
+
+    def on_xon(self, port):
+        self.xon_ports.append(port)
+
+
 def data_pkt(seq=0, size=4096):
     return Packet(DATA, 1, 0, 1, seq=seq, size=size)
 
@@ -87,14 +101,39 @@ class TestPortPause:
 
     def test_enqueue_on_paused_idle_port_is_held(self):
         sim, port, sink = lone_port()
-        port.configure_pfc(0.6, 0.3)
+        ctrl = RecordingController()
+        port.configure_pfc(0.6, 0.3, controller=ctrl)
         port.pause()
         assert port.enqueue(data_pkt()) is True  # held, not dropped
         sim.run()
         assert sink.received == []
+        # A paused idle port must still originate XOFF as it fills —
+        # upstream back-pressure is what keeps the fabric lossless.
+        # 20 * 4096 B = 81920 B crosses XOFF (60000 B) without reaching
+        # capacity (100000 B): no drops, exactly one XOFF.
+        for seq in range(1, 20):
+            assert port.enqueue(data_pkt(seq)) is True
+        assert port.drops == 0
+        assert ctrl.xoff_ports == [port]
         port.resume()
         sim.run()
-        assert len(sink.received) == 1
+        assert len(sink.received) == 20
+        assert ctrl.xon_ports == [port]  # drained below XON
+
+    def test_resume_rechecks_xoff_threshold(self):
+        """A queue above XOFF when the pause lifts pauses upstream at
+        resume time, not on the next enqueue."""
+        sim, port, _ = lone_port()
+        port.configure_pfc(0.6, 0.3)  # obeys pause, no controller yet
+        port.pause()
+        for seq in range(16):  # 65536 B queued: above XOFF (60000 B)
+            port.enqueue(data_pkt(seq))
+        # Controller attached late (enable_pfc on a running net): no
+        # further enqueue will arrive to notice the standing backlog.
+        ctrl = RecordingController()
+        port.configure_pfc(0.6, 0.3, controller=ctrl)
+        port.resume()
+        assert ctrl.xoff_ports == [port]
 
     def test_timed_hold_auto_resumes(self):
         sim, port, sink = lone_port()

@@ -19,6 +19,7 @@ from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.transport.base import (
+    DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
     AbortPolicy,
     FixedEntropy,
     PathSelector,
@@ -58,6 +59,7 @@ def start_uno_flow(
     base_rtt_ps: Optional[int] = None,
     path: Optional[PathSelector] = None,
     abort: Optional[AbortPolicy] = None,
+    receiver_idle_timeout_ps: Optional[int] = DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
 ) -> Sender:
     """Launch one flow under Uno.
 
@@ -101,8 +103,20 @@ def start_uno_flow(
             size_bytes,
             sender_cls=UnoRCSender,
             receiver_cls=UnoRCReceiver,
-            receiver_kwargs={"rc": rc},
+            receiver_kwargs={
+                "rc": rc,
+                "idle_timeout_ps": receiver_idle_timeout_ps,
+            },
             rc=rc,
             **common,
         )
-    return start_flow(sim, net, cc, src, dst, size_bytes, **common)
+    return start_flow(
+        sim,
+        net,
+        cc,
+        src,
+        dst,
+        size_bytes,
+        receiver_kwargs={"idle_timeout_ps": receiver_idle_timeout_ps},
+        **common,
+    )

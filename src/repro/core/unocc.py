@@ -104,7 +104,10 @@ class UnoCC(CongestionControl):
             # buildup reliably resets MD_scale to 1 — this is the
             # self-regulating loop of Algorithm 1 (gentle while phantom-
             # only, full strength as soon as physical queues form).
-            self._delay_thresh_ps = 4 * sender.mss * 8000 // int(sender.line_gbps)
+            # Serialization time of 4 MSS at line rate. Divide in float:
+            # integer-truncating a sub-1 Gbps line rate (wire-path rate
+            # caps) would divide by zero.
+            self._delay_thresh_ps = int(4 * sender.mss * 8000 / sender.line_gbps)
         self._qa_bytes_start = 0
         self._qa_started = False  # QA windows begin with the first ACK
         if cfg.use_pacing:

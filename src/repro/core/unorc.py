@@ -34,7 +34,11 @@ from repro.coding.block import BlockConfig
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.host import Host
 from repro.sim.packet import ACK, Packet, make_nack
-from repro.transport.base import Receiver, Sender
+from repro.transport.base import (
+    DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
+    Receiver,
+    Sender,
+)
 
 BLOCK_COMPLETE_SEQ = -2  # control-ACK sentinel sequence
 _ACK_SIZE = 64
@@ -200,8 +204,9 @@ class UnoRCReceiver(Receiver):
         host: Host,
         flow_id: int,
         rc: UnoRCConfig = UnoRCConfig(),
+        idle_timeout_ps: Optional[int] = DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
     ):
-        super().__init__(sim, host, flow_id)
+        super().__init__(sim, host, flow_id, idle_timeout_ps=idle_timeout_ps)
         self.rc = rc
         self._timeout_ps = rc.block_timeout_ps
         self._total_data_pkts: Optional[int] = None

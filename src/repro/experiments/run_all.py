@@ -4,7 +4,7 @@ Usage:
     python -m repro.experiments.run_all [--paper] [--only fig3,fig10]
         [--jobs N] [--resume] [--seed S] [--out DIR] [--timeout SECS]
         [--telemetry] [--retries N] [--chaos CAMPAIGN] [--convergence V]
-        [--shards N]
+        [--shards N] [--wire CAMPAIGN] [--list-campaigns]
 
 All selected experiments are decomposed into independent points first,
 then the whole point set is executed by one runner pass — so ``--jobs``
@@ -40,6 +40,15 @@ seeded deadlock goes undetected (the ``lossless`` campaign's PFC
 DeadlockProbe cells). ``--convergence`` selects the control plane for
 every campaign point: ``default`` (failure-aware rerouting), a number
 (delay in ps; ``0`` = static tables), or ``inf`` (never reroute).
+
+``--wire CAMPAIGN`` runs a wire campaign (see
+:mod:`repro.experiments.wire`) instead of the paper experiments: the
+unmodified transport stack over loopback UDP behind the seeded
+impairment proxy, plus the sim-vs-wire comparison. The summary lands at
+``<out>/summaries/wire-<campaign>.json`` and the exit status is
+non-zero if any point fails or any cell's gate fails (soak invariants,
+blackhole abort accounting, comparison tolerance bands).
+``--list-campaigns`` prints every chaos and wire campaign and exits.
 
 ``--shards 2`` runs the sharded-equivalence campaign instead of the
 paper experiments: the pinned two-DC workload on a single engine vs one
@@ -115,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(N=2: one per DC) instead of the paper "
                              "experiments, checking flow-level equivalence "
                              "against the single-engine run")
+    parser.add_argument("--wire", type=str, default=None, metavar="CAMPAIGN",
+                        help="run this wire campaign (loopback UDP soak "
+                             "and/or sim-vs-wire comparison; e.g. soak, "
+                             "compare, full) instead of the paper "
+                             "experiments")
+    parser.add_argument("--list-campaigns", action="store_true",
+                        help="print the available chaos and wire campaigns "
+                             "and exit")
     return parser
 
 
@@ -123,10 +140,17 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.list_campaigns:
+        list_campaigns()
+        return
+
     targets = ALL
     if args.only:
         if args.chaos:
             parser.error("--chaos replaces the experiment list; "
+                         "it cannot be combined with --only")
+        if args.wire:
+            parser.error("--wire replaces the experiment list; "
                          "it cannot be combined with --only")
         targets = [t.strip() for t in args.only.split(",") if t.strip()]
         unknown = set(targets) - set(ALL)
@@ -141,13 +165,20 @@ def main(argv: Optional[List[str]] = None) -> None:
     out = Path(args.out)
     cache = ResultCache(out / "points")
 
-    if args.chaos and args.shards:
-        parser.error("--chaos and --shards are mutually exclusive")
+    exclusive = [flag for flag, on in (
+        ("--chaos", args.chaos), ("--shards", args.shards is not None),
+        ("--wire", args.wire),
+    ) if on]
+    if len(exclusive) > 1:
+        parser.error(f"{' and '.join(exclusive)} are mutually exclusive")
     if args.chaos:
         run_chaos_campaign(args, parser, quick, out, cache)
         return
     if args.shards is not None:
         run_sharded_campaign(args, parser, quick, out)
+        return
+    if args.wire:
+        run_wire_campaign(args, parser, quick, out, cache)
         return
 
     modules = {name: experiment_module(name) for name in targets}
@@ -248,6 +279,74 @@ def run_chaos_campaign(args, parser, quick: bool, out: Path,
 
     if (failed or res["total_violations"] or not res["all_flows_terminal"]
             or res.get("undetected_deadlocks")):
+        raise SystemExit(1)
+
+
+def list_campaigns() -> None:
+    """Print every chaos and wire campaign with its cell count."""
+    from repro.experiments import chaos, wire
+
+    print("chaos campaigns (--chaos NAME):")
+    for name in sorted(chaos.CAMPAIGNS):
+        print(f"  {name:<16} {len(chaos.CAMPAIGNS[name])} cells")
+    print("wire campaigns (--wire NAME):")
+    for name in sorted(wire.CAMPAIGNS):
+        print(f"  {name:<16} {len(wire.CAMPAIGNS[name])} cells")
+
+
+def run_wire_campaign(args, parser, quick: bool, out: Path,
+                      cache: ResultCache) -> None:
+    """Execute one wire campaign through the shared point runner.
+
+    Writes ``<out>/summaries/wire-<campaign>.json`` and exits non-zero
+    when any point fails or any cell's gate fails — soak cells gate on
+    the harness invariants and expected outcomes (completion under
+    impairment, policy aborts under blackhole), compare cells on the
+    sim-vs-wire tolerance bands — so CI can gate on the campaign
+    directly.
+    """
+    from repro.experiments import wire
+
+    try:
+        points = wire.campaign_points(args.wire, quick=quick,
+                                      seed=args.seed)
+    except ValueError as exc:
+        parser.error(str(exc))
+    stream = _open_stream(args, out, f"wire-{args.wire}", len(points))
+    try:
+        records = run_points(
+            points, jobs=args.jobs, cache=cache, resume=args.resume,
+            timeout_s=args.timeout, progress=True, telemetry=args.telemetry,
+            retries=args.retries, stream=stream,
+        )
+        if stream is not None:
+            stream.campaign_end(len(records), len(failures(records)))
+    finally:
+        if stream is not None:
+            stream.close()
+    if args.telemetry:
+        write_telemetry(out / "telemetry", records, cache)
+
+    failed = failures(records)
+    for r in failed:
+        info = r.error or {}
+        print(f"[wire FAILED: {r.point.id} {r.status}: "
+              f"{info.get('type', '?')}: {info.get('message', '')}]",
+              file=sys.stderr)
+
+    ok = [r for r in records if r.ok]
+    res = wire.summarize(results_by_name(ok, experiment=wire.EXPERIMENT))
+    res["campaign"] = args.wire
+    res["n_failed_points"] = len(failed)
+    wire.report(res)
+    summaries_dir = out / "summaries"
+    summaries_dir.mkdir(parents=True, exist_ok=True)
+    (summaries_dir / f"wire-{args.wire}.json").write_text(
+        _summary_json(res) + "\n")
+    elapsed = sum(r.elapsed_s for r in records)
+    print(f"[wire {args.wire} done in {elapsed:.1f}s]")
+
+    if failed or not res["all_gates_passed"]:
         raise SystemExit(1)
 
 

@@ -18,15 +18,27 @@ strategy object:
 Flow completion time is measured per the paper: from when the flow starts
 sending to when the sender learns the receiver holds the whole message
 (the last ACK).
+
+The transport never imports the simulator: it drives its engine through
+the :class:`EngineLike` protocol (``now``/``at``/``after``/``obs``), so
+the same sender/receiver objects run in virtual time under
+:class:`~repro.sim.engine.Simulator` or on wall-clock asyncio timers
+under :class:`~repro.wire.clock.WallClock` (see :mod:`repro.wire`).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
-from repro.sim.engine import EventHandle, Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.packet import ACK, CNP, DATA, NACK, Packet, make_ack
@@ -34,6 +46,47 @@ from repro.sim.units import MS, bdp_bytes, ser_time_ps
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """What a transport keeps from scheduling a timer: just ``cancel()``.
+
+    Satisfied by the simulator's :class:`~repro.sim.engine.EventHandle`
+    and by :class:`~repro.wire.clock.WallTimer`. Cancel must be
+    idempotent and safe after the timer fired."""
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class EngineLike(Protocol):
+    """The clock/timer surface the transport layer actually uses.
+
+    ``Sender``/``Receiver`` (and the CC strategies they drive) touch
+    their engine through exactly four members: ``now`` (integer
+    picoseconds), ``at``/``after`` (one-shot callbacks returning a
+    cancellable handle), and ``obs`` (the telemetry bundle, or None).
+    Anything providing this protocol can run the unmodified transport
+    stack — the discrete-event :class:`~repro.sim.engine.Simulator`
+    virtually, or :class:`~repro.wire.clock.WallClock` over real
+    asyncio timers and UDP sockets (see :mod:`repro.wire`).
+
+    Timing contract: ``after`` requires a non-negative delay; ``at``
+    with a time already in the past is engine-defined — the simulator
+    raises (a scheduling bug in virtual time), while wall clocks clamp
+    to "as soon as possible" because real time advances between reading
+    ``now`` and scheduling against it.
+    """
+
+    obs: Optional[object]
+
+    @property
+    def now(self) -> int: ...
+
+    def at(self, time_ps: int, fn: Callable, *args) -> TimerHandle: ...
+
+    def after(self, delay_ps: int, fn: Callable, *args) -> TimerHandle: ...
 
 DEFAULT_MSS = 4096  # paper: MTU 4096 B
 HEADER_BYTES = 64   # approximate header overhead carried on the wire
@@ -177,7 +230,7 @@ class Receiver:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EngineLike,
         host: Host,
         flow_id: int,
         idle_timeout_ps: Optional[int] = DEFAULT_RECEIVER_IDLE_TIMEOUT_PS,
@@ -192,7 +245,7 @@ class Receiver:
         self.idle_timeout_ps = idle_timeout_ps
         self.idled_out = False
         self._last_rx_ps = 0
-        self._idle_handle: Optional[EventHandle] = None
+        self._idle_handle: Optional[TimerHandle] = None
         self._closed = False
 
     def on_packet(self, pkt: Packet) -> None:
@@ -253,7 +306,7 @@ class Sender:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EngineLike,
         net: Network,
         flow_id: int,
         src: Host,
@@ -319,8 +372,8 @@ class Sender:
 
         # Pacing / timers.
         self._next_pace_ps = 0
-        self._pace_handle: Optional[EventHandle] = None
-        self._rto_handle: Optional[EventHandle] = None
+        self._pace_handle: Optional[TimerHandle] = None
+        self._rto_handle: Optional[TimerHandle] = None
         self.rto_multiplier = rto_multiplier
         self.min_rto_ps = min_rto_ps
         self.max_rto_ps = max_rto_ps
@@ -334,7 +387,7 @@ class Sender:
         # a terminal 'aborted' state instead of retransmitting forever.
         self.abort_policy = abort
         self._consecutive_timeouts = 0
-        self._deadline_handle: Optional[EventHandle] = None
+        self._deadline_handle: Optional[TimerHandle] = None
         self._aborted = False
 
         self.stats = SenderStats(
@@ -823,7 +876,7 @@ class Sender:
 
 
 def start_flow(
-    sim: Simulator,
+    sim: EngineLike,
     net: Network,
     cc: CongestionControl,
     src: Host,

@@ -1,0 +1,110 @@
+"""Wall-clock engine: the transport's :class:`EngineLike` over asyncio.
+
+:class:`WallClock` gives the unmodified ``transport.base`` stack real
+time and real timers. ``now`` is the integer picosecond count since the
+clock was created (same unit as the simulator, so every transport
+constant — RTOs, idle timeouts, abort deadlines — means the same thing
+on the wire); ``at``/``after`` arm one-shot ``loop.call_later`` timers
+returning cancellable :class:`WallTimer` handles.
+
+Two deliberate departures from :class:`~repro.sim.engine.Simulator`
+semantics, both inherent to wall clocks:
+
+- ``at`` with a time already in the past **clamps to zero delay**
+  instead of raising. Real time advances between a caller reading
+  ``now`` and scheduling against it; a virtual clock treats that as a
+  bug, a wall clock must treat it as "as soon as possible".
+- Firing order of same-deadline timers follows the event loop, not the
+  simulator's deterministic sequence numbers. Wire-path assertions are
+  therefore reliability invariants (delivered, terminal, no leaked
+  timers), never exact timings.
+
+The clock keeps a live-timer account (``armed``/``fired``/``cancelled``
+/``live_timers``) so harnesses can assert the "zero live timers after
+terminal" invariant that in virtual time falls out of the event loop
+draining. Like the simulator, a WallClock self-attaches telemetry from
+an active :class:`~repro.obs.TelemetryContext`, so ``--telemetry`` runs
+collect wire-path counters/events with zero wire-specific wiring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro import obs as _obs
+from repro.sim.units import SEC
+
+
+class WallTimer:
+    """Cancellable handle for one scheduled callback (TimerHandle)."""
+
+    __slots__ = ("_clock", "_handle", "_fired", "cancelled")
+
+    def __init__(self, clock: "WallClock", delay_s: float,
+                 fn: Callable, args: tuple):
+        self._clock = clock
+        self._fired = False
+        self.cancelled = False
+        self._handle = clock._loop.call_later(delay_s, self._fire, fn, args)
+
+    def _fire(self, fn: Callable, args: tuple) -> None:
+        self._fired = True
+        clock = self._clock
+        clock.live_timers -= 1
+        clock.fired += 1
+        fn(*args)
+
+    def cancel(self) -> None:
+        """Idempotent; a no-op once the timer fired (mirrors EventHandle)."""
+        if self.cancelled or self._fired:
+            return
+        self.cancelled = True
+        self._handle.cancel()
+        clock = self._clock
+        clock.live_timers -= 1
+        clock.cancelled_timers += 1
+
+
+class WallClock:
+    """An :class:`~repro.transport.base.EngineLike` over the running
+    asyncio event loop. Construct it inside the loop (or pass one)."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self.armed = 0
+        self.fired = 0
+        self.cancelled_timers = 0
+        self.live_timers = 0
+        self.obs = None
+        ctx = _obs.active_context()
+        if ctx is not None:
+            ctx.attach(self)
+
+    @property
+    def now(self) -> int:
+        """Integer picoseconds since the clock was created."""
+        return int((self._loop.time() - self._t0) * SEC)
+
+    def after(self, delay_ps: int, fn: Callable, *args) -> WallTimer:
+        """Run ``fn(*args)`` once, ``delay_ps`` picoseconds from now."""
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule {delay_ps} ps in the past")
+        self.armed += 1
+        self.live_timers += 1
+        return WallTimer(self, delay_ps / SEC, fn, args)
+
+    def at(self, time_ps: int, fn: Callable, *args) -> WallTimer:
+        """Run ``fn(*args)`` once at absolute clock time ``time_ps``,
+        clamped to "immediately" if that moment already passed."""
+        return self.after(max(0, time_ps - self.now), fn, *args)
+
+    def stats(self) -> dict:
+        """JSON-ready timer accounting for harness gates."""
+        return {
+            "armed": self.armed,
+            "fired": self.fired,
+            "cancelled": self.cancelled_timers,
+            "live": self.live_timers,
+        }

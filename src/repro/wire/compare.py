@@ -1,0 +1,277 @@
+"""Sim-vs-wire comparison: one pinned workload, two datapaths.
+
+The CoCo-Beholder-style check: run the *same* workload (same transports,
+sizes, start offsets, RTO knobs, seeds) once in the discrete-event
+simulator and once over the loopback UDP datapath, under matched
+impairments, and diff the telemetry within declared tolerance bands.
+Because the transport policy objects are identical on both legs — only
+the engine behind the :class:`~repro.transport.base.EngineLike` seam
+changes — a disagreement beyond tolerance means the wire plumbing
+(framing, proxy, wall clock) distorted transport behavior, not that the
+paper's algorithms changed.
+
+Matched-impairment subset: the sim leg reproduces **delay, rate cap,
+and Bernoulli loss** (a dumbbell whose bottleneck runs at the proxy's
+rate cap, propagation split across its hops, and a
+:class:`~repro.sim.chaos.GreyFailure` on the switch-switch cable at the
+proxy's loss rate). Duplication, reordering and blackholes have no
+one-knob simulator analogue, so :func:`compare_sim_wire` rejects them —
+those live in the soak cells, which gate on invariants rather than on
+cross-leg agreement.
+
+Tolerance stance: wall-clock scheduling jitter, loopback batching, and
+the sim's idealized queues mean FCTs agree in *magnitude*, not digits.
+The bands are deliberately wide (FCT ratio, retransmission slack);
+what must match exactly is the per-flow outcome — completed here means
+completed there.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.uno import start_uno_flow
+from repro.obs import enable
+from repro.sim.chaos import GreyFailure
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB, MS, SEC
+from repro.topology.simple import dumbbell
+from repro.transport.base import AbortPolicy, start_flow
+from repro.transport.dctcp import DCTCP
+from repro.wire.harness import (
+    WireFlowSpec,
+    _uno_params,
+    run_wire,
+    wire_rtt_ps,
+)
+from repro.wire.proxy import Impairments
+
+
+@dataclass(frozen=True)
+class CompareTolerance:
+    """Declared agreement bands for the sim-vs-wire diff.
+
+    ``fct_ratio_lo/hi`` bound the per-flow and mean wire/sim FCT ratio;
+    ``retx_slack`` is the absolute retransmission-count difference
+    allowed across the whole workload (loss draws are independent per
+    leg, so counts wander even at the same marginal rate)."""
+
+    fct_ratio_lo: float = 0.2
+    fct_ratio_hi: float = 5.0
+    retx_slack: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fct_ratio_lo < 1 <= self.fct_ratio_hi:
+            raise ValueError("need fct_ratio_lo in (0,1) and hi >= 1")
+        if self.retx_slack < 0:
+            raise ValueError("retx_slack must be >= 0")
+
+    def describe(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _check_comparable(imp: Impairments) -> None:
+    if imp.dup_rate or imp.reorder_rate or imp.blackhole_start_ms is not None:
+        raise ValueError(
+            "compare cells only support the sim-expressible impairment "
+            "subset (delay, rate cap, loss); dup/reorder/blackhole "
+            "belong in soak cells"
+        )
+
+
+def _run_sim_leg(
+    specs: List[WireFlowSpec],
+    imp: Impairments,
+    *,
+    seed: int,
+    mss: int,
+    min_rto_ps: int,
+    max_rto_ps: int,
+    rto_backoff_max: int,
+    abort: Optional[AbortPolicy],
+    idle_timeout_ps: int,
+    horizon_ps: int,
+) -> Dict[str, Any]:
+    """The simulator leg: a one-pair dumbbell matched to the proxy."""
+    sim = Simulator()
+    enable(sim, event_topics=("flow", "span"), profile=False)
+    rate_gbps = imp.rate_mbps / 1000.0 if imp.rate_mbps else 1.0
+    # One proxy traversal = delay_ms one way; the dumbbell path crosses
+    # three links, so split the propagation across them.
+    prop_ps = max(int(imp.delay_ms * MS) // 3, 1)
+    topo = dumbbell(sim, n_pairs=1, gbps=rate_gbps, prop_ps=prop_ps,
+                    queue_bytes=4 * MIB, seed=seed)
+    src, dst = topo.senders[0], topo.receivers[0]
+    # The wire hosts sit in different "DCs" so Uno flows engage the full
+    # inter-DC UnoRC + UnoLB stack; mirror that here.
+    dst.dc = 1
+    if imp.loss_rate:
+        GreyFailure(selector="inter_switch", k=1, start_ps=0,
+                    duration_ps=None, loss_rate=imp.loss_rate).apply(
+            sim, topo.net, random.Random(seed ^ 0x10_55))
+    rtt = wire_rtt_ps(imp, mss)
+    params = _uno_params(imp, mss=mss, min_rto_ps=min_rto_ps,
+                         max_rto_ps=max_rto_ps,
+                         rto_backoff_max=rto_backoff_max)
+    senders = []
+    wall_start = time.monotonic()
+    for i, spec in enumerate(specs):
+        start_ps = int(spec.start_ms * MS)
+        if spec.transport == "uno":
+            sender = start_uno_flow(
+                sim, topo.net, src, dst, spec.size_bytes, params,
+                start_ps=start_ps, seed=seed + i, base_rtt_ps=rtt,
+                abort=abort, receiver_idle_timeout_ps=idle_timeout_ps,
+            )
+        else:
+            sender = start_flow(
+                sim, topo.net, DCTCP(), src, dst, spec.size_bytes,
+                start_ps=start_ps, mss=mss, base_rtt_ps=rtt,
+                line_gbps=rate_gbps, min_rto_ps=min_rto_ps,
+                max_rto_ps=max_rto_ps, rto_backoff_max=rto_backoff_max,
+                abort=abort, seed=seed + i,
+                receiver_kwargs={"idle_timeout_ps": idle_timeout_ps},
+            )
+        senders.append(sender)
+    sim.run(until=horizon_ps)
+
+    flows = []
+    for spec, s in zip(specs, senders):
+        flows.append({
+            "flow": s.flow_id,
+            "transport": spec.transport,
+            "size_bytes": spec.size_bytes,
+            "completed": s.done,
+            "aborted": s.aborted,
+            "abort_reason": s.stats.abort_reason,
+            "fct_ms": (s.stats.fct_ps / MS
+                       if s.stats.fct_ps is not None else None),
+            "retransmissions": s.stats.retransmissions,
+            "timeouts": s.stats.timeouts,
+        })
+    fcts = [f["fct_ms"] for f in flows if f["fct_ms"] is not None]
+    return {
+        "n_flows": len(flows),
+        "completed": sum(1 for f in flows if f["completed"]),
+        "aborted": sum(1 for f in flows if f["aborted"]),
+        "stuck": sum(1 for f in flows
+                     if not f["completed"] and not f["aborted"]),
+        "flows": flows,
+        "mean_fct_ms": sum(fcts) / len(fcts) if fcts else None,
+        "max_fct_ms": max(fcts) if fcts else None,
+        "retransmissions": sum(f["retransmissions"] for f in flows),
+        "timeouts": sum(f["timeouts"] for f in flows),
+        "wall_s": time.monotonic() - wall_start,
+    }
+
+
+def compare_sim_wire(
+    specs: List[WireFlowSpec],
+    imp: Impairments,
+    *,
+    seed: int = 1,
+    mss: int = 4096,
+    min_rto_ps: int = 25 * MS,
+    max_rto_ps: int = 200 * MS,
+    rto_backoff_max: int = 8,
+    abort: Optional[AbortPolicy] = None,
+    timeout_s: float = 30.0,
+    tolerance: CompareTolerance = CompareTolerance(),
+) -> Dict[str, Any]:
+    """Run the workload on both legs and diff within ``tolerance``.
+
+    Returns a JSON-ready record with both legs' summaries, the per-flow
+    and aggregate deltas, every tolerance ``mismatch``, and the verdict
+    ``within_tolerance``. The wire leg's invariant sweep rides along:
+    any wire violation is itself a mismatch."""
+    _check_comparable(imp)
+    # Same headroom as the harness default (see _run_wire): the wire
+    # leg's retry gap can exceed max_rto_ps when an event-loop stall
+    # inflates the RTT estimate, so the receivers must out-wait it.
+    # Both legs get the same timeout so outcomes stay comparable.
+    idle_timeout_ps = max(2_000 * MS, int(10 * max_rto_ps))
+    horizon_ps = int(timeout_s * SEC)
+    sim_leg = _run_sim_leg(
+        list(specs), imp, seed=seed, mss=mss, min_rto_ps=min_rto_ps,
+        max_rto_ps=max_rto_ps, rto_backoff_max=rto_backoff_max,
+        abort=abort, idle_timeout_ps=idle_timeout_ps,
+        horizon_ps=horizon_ps,
+    )
+    wire_leg = run_wire(
+        list(specs), imp, seed=seed, mss=mss, min_rto_ps=min_rto_ps,
+        max_rto_ps=max_rto_ps, rto_backoff_max=rto_backoff_max,
+        abort=abort, timeout_s=timeout_s,
+        idle_timeout_ps=idle_timeout_ps,
+    )
+
+    mismatches: List[Dict[str, Any]] = []
+    per_flow: List[Dict[str, Any]] = []
+    for i, (sf, wf) in enumerate(zip(sim_leg["flows"], wire_leg["flows"])):
+        if (sf["completed"], sf["aborted"]) != (wf["completed"],
+                                                wf["aborted"]):
+            mismatches.append({
+                "check": "outcome", "flow_index": i,
+                "detail": f"sim completed={sf['completed']} "
+                          f"aborted={sf['aborted']} vs wire "
+                          f"completed={wf['completed']} "
+                          f"aborted={wf['aborted']}",
+            })
+        ratio = None
+        if sf["fct_ms"] and wf["fct_ms"]:
+            ratio = wf["fct_ms"] / sf["fct_ms"]
+            if not (tolerance.fct_ratio_lo <= ratio
+                    <= tolerance.fct_ratio_hi):
+                mismatches.append({
+                    "check": "fct_ratio", "flow_index": i,
+                    "detail": f"wire/sim FCT ratio {ratio:.3f} outside "
+                              f"[{tolerance.fct_ratio_lo}, "
+                              f"{tolerance.fct_ratio_hi}]",
+                })
+        per_flow.append({
+            "flow_index": i,
+            "transport": sf["transport"],
+            "sim_fct_ms": sf["fct_ms"],
+            "wire_fct_ms": wf["fct_ms"],
+            "fct_ratio": ratio,
+        })
+
+    retx_delta = abs(wire_leg["retransmissions"]
+                     - sim_leg["retransmissions"])
+    if retx_delta > tolerance.retx_slack:
+        mismatches.append({
+            "check": "retransmissions",
+            "detail": f"retx delta {retx_delta} (sim "
+                      f"{sim_leg['retransmissions']}, wire "
+                      f"{wire_leg['retransmissions']}) exceeds slack "
+                      f"{tolerance.retx_slack}",
+        })
+    for v in wire_leg["violations"]:
+        mismatches.append({"check": "wire_invariant", "detail": v})
+
+    mean_ratio = None
+    if sim_leg["mean_fct_ms"] and wire_leg["mean_fct_ms"]:
+        mean_ratio = wire_leg["mean_fct_ms"] / sim_leg["mean_fct_ms"]
+        if not (tolerance.fct_ratio_lo <= mean_ratio
+                <= tolerance.fct_ratio_hi):
+            mismatches.append({
+                "check": "mean_fct_ratio",
+                "detail": f"mean wire/sim FCT ratio {mean_ratio:.3f} "
+                          f"outside [{tolerance.fct_ratio_lo}, "
+                          f"{tolerance.fct_ratio_hi}]",
+            })
+
+    return {
+        "impairments": imp.describe(),
+        "tolerance": tolerance.describe(),
+        "sim": sim_leg,
+        "wire": wire_leg,
+        "per_flow": per_flow,
+        "mean_fct_ratio": mean_ratio,
+        "retx_delta": retx_delta,
+        "mismatches": mismatches,
+        "n_mismatches": len(mismatches),
+        "within_tolerance": not mismatches,
+    }

@@ -1,0 +1,357 @@
+"""Loopback soak harness: the unmodified transport stack over real UDP.
+
+One :func:`run_wire` call builds the full wire datapath on loopback —
+a :class:`~repro.wire.clock.WallClock`, two :class:`WireHost` endpoints
+(in different "DCs", so Uno flows get the full inter-DC UnoRC + UnoLB
+stack), and the seeded :class:`ImpairmentProxy` between them — launches
+the requested flows through the *same* ``start_flow`` /
+``start_uno_flow`` entry points the simulator uses, waits for every
+flow to reach a terminal state, and sweeps the wire invariants in the
+chaos-campaign violation-dict style:
+
+- ``frame_integrity`` / ``payload_integrity`` — nothing arrived
+  malformed or corrupted (DATA payloads carry a verified pattern);
+- ``flow_stuck`` — every flow ended terminal (completed, or aborted by
+  its connection policy) before the harness deadline;
+- ``completion_accounting`` — a completed sender really has every data
+  packet acknowledged;
+- ``abort_accounting`` — an aborted sender recorded its reason/time;
+- ``timer_after_terminal`` / ``live_timers`` — terminal flows hold no
+  armed timers, and once everything is terminal the wall clock's
+  live-timer account is zero;
+- ``rto_backoff_cap`` — no RTO span ever reported a backoff factor
+  above the sender's cap (the blackhole scenario's storm guard);
+- ``proxy_conservation`` — per direction,
+  ``rx == forwarded + dropped_loss + dropped_blackhole``.
+
+Determinism stance: every impairment *decision* is seeded and
+reproducible; delivery *timing* rides the real event loop, so gates
+assert reliability invariants, never exact timings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.params import UnoParams
+from repro.core.uno import start_uno_flow
+from repro.sim.units import MS, SEC, ser_time_ps
+from repro.transport.base import AbortPolicy, Sender, start_flow
+from repro.transport.dctcp import DCTCP
+from repro.wire.clock import WallClock
+from repro.wire.endpoint import WireHost, WireNetwork, open_wire_host
+from repro.wire.proxy import Impairments, ImpairmentProxy, open_proxy
+
+#: Transports the wire harness can launch.
+WIRE_TRANSPORTS = ("dctcp", "uno")
+
+
+@dataclass(frozen=True)
+class WireFlowSpec:
+    """One flow of the pinned wire workload."""
+
+    transport: str = "dctcp"
+    size_bytes: int = 64 * 1024
+    start_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.transport not in WIRE_TRANSPORTS:
+            raise ValueError(f"unknown wire transport {self.transport!r}; "
+                             f"choose from {WIRE_TRANSPORTS}")
+        if self.size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be >= 0")
+
+
+def wire_rtt_ps(imp: Impairments, mss: int = 4096) -> int:
+    """The workload's base RTT estimate: two proxy traversals plus two
+    full-MSS serializations at the rate cap (if any)."""
+    rtt = 2 * int(imp.delay_ms * MS)
+    if imp.rate_mbps:
+        rtt += 2 * ser_time_ps(mss, imp.rate_mbps / 1000.0)
+    return max(rtt, 1)
+
+
+def _uno_params(imp: Impairments, *, mss: int, min_rto_ps: int,
+                max_rto_ps: int, rto_backoff_max: int) -> UnoParams:
+    """UnoParams matched to the wire path (same knobs as the sim leg)."""
+    rtt = wire_rtt_ps(imp, mss)
+    line_gbps = imp.rate_mbps / 1000.0 if imp.rate_mbps else 1.0
+    return UnoParams(
+        link_gbps=line_gbps,
+        mtu_bytes=mss,
+        intra_rtt_ps=max(rtt // 2, 1 * MS),
+        inter_rtt_ps=max(rtt, 2 * MS),
+        min_rto_ps=min_rto_ps,
+        max_rto_ps=max_rto_ps,
+        rto_backoff_max=rto_backoff_max,
+    )
+
+
+def check_wire_invariants(
+    clock: WallClock,
+    hosts: List[WireHost],
+    senders: List[Sender],
+    proxy: ImpairmentProxy,
+    *,
+    timed_out: bool = False,
+) -> List[Dict[str, Any]]:
+    """Sweep the wire run invariants; a healthy run returns []."""
+    violations: List[Dict[str, Any]] = []
+    for host in hosts:
+        if host.corrupt_frames:
+            violations.append({
+                "invariant": "frame_integrity", "host": host.name,
+                "detail": f"{host.corrupt_frames} malformed frames",
+            })
+        if host.corrupt_payloads:
+            violations.append({
+                "invariant": "payload_integrity", "host": host.name,
+                "detail": f"{host.corrupt_payloads} corrupted payloads",
+            })
+    for s in senders:
+        if not s.terminal:
+            violations.append({
+                "invariant": "flow_stuck", "flow": s.flow_id,
+                "detail": f"non-terminal after harness deadline "
+                          f"(acked {len(s.acked_seqs)}/{s.total_data_pkts})",
+            })
+            continue
+        if s.done and not s._all_delivered():
+            violations.append({
+                "invariant": "completion_accounting", "flow": s.flow_id,
+                "detail": "completed without full coverage",
+            })
+        if s.aborted and (s.stats.abort_reason is None
+                          or s.stats.aborted_ps is None):
+            violations.append({
+                "invariant": "abort_accounting", "flow": s.flow_id,
+                "detail": "aborted without reason/time recorded",
+            })
+        for attr in ("_rto_handle", "_pace_handle", "_deadline_handle"):
+            if getattr(s, attr) is not None:
+                violations.append({
+                    "invariant": "timer_after_terminal", "flow": s.flow_id,
+                    "detail": f"{attr} still armed on terminal sender",
+                })
+        receiver = getattr(s, "receiver", None)
+        if receiver is not None and receiver._idle_handle is not None:
+            violations.append({
+                "invariant": "timer_after_terminal", "flow": s.flow_id,
+                "detail": "receiver idle timer armed after terminal",
+            })
+    if not timed_out and clock.live_timers != 0:
+        violations.append({
+            "invariant": "live_timers",
+            "detail": f"{clock.live_timers} timers armed after all flows "
+                      f"terminal",
+        })
+    obs = clock.obs
+    if obs is not None and obs.events is not None:
+        cap = max((s.rto_backoff_max for s in senders), default=0)
+        for span in obs.events.events("span", "rto"):
+            if span.get("backoff", 1) > cap:
+                violations.append({
+                    "invariant": "rto_backoff_cap", "flow": span.get("flow"),
+                    "detail": f"backoff {span['backoff']} exceeds cap {cap}",
+                })
+    for direction, eng in (("a_to_b", proxy._dir_engines[0]),
+                           ("b_to_a", proxy._dir_engines[1])):
+        expected = eng.forwarded + eng.dropped_loss + eng.dropped_blackhole
+        if eng.rx != expected:
+            violations.append({
+                "invariant": "proxy_conservation", "direction": direction,
+                "detail": f"rx {eng.rx} != forwarded+dropped {expected}",
+            })
+    return violations
+
+
+async def _run_wire(
+    specs: List[WireFlowSpec],
+    imp: Impairments,
+    *,
+    seed: int,
+    mss: int,
+    min_rto_ps: int,
+    max_rto_ps: int,
+    rto_backoff_max: int,
+    abort: Optional[AbortPolicy],
+    timeout_s: float,
+    idle_timeout_ps: Optional[int],
+) -> Dict[str, Any]:
+    if idle_timeout_ps is None:
+        # The receiver's idle timeout must exceed the sender's worst
+        # retry gap, or the receiver idles out and unregisters while a
+        # live sender is still retrying — every retry then lands as an
+        # orphan and the flow can never finish. The nominal bound is
+        # max_rto_ps, but it is soft on the wire: the base RTO
+        # (srtt + 4*rttvar) is deliberately not clamped to max_rto_ps,
+        # and one event-loop stall (a gen-2 GC pass in a long-lived
+        # process) inflates rttvar by the stall length. Worse, once the
+        # tail packet is lost no ACKs arrive, so the inflated estimate
+        # is frozen for the rest of the flow. 10x headroom over the
+        # nominal bound absorbs sub-second stalls.
+        idle_timeout_ps = max(2_000 * MS, int(10 * max_rto_ps))
+    loop = asyncio.get_running_loop()
+    clock = WallClock(loop)
+    if clock.obs is None:
+        from repro.obs import enable
+        enable(clock, event_topics=("flow", "span"), profile=False)
+    net = WireNetwork()
+    host_a = await open_wire_host(clock, 1, "wireA", dc=0)
+    host_b = await open_wire_host(clock, 2, "wireB", dc=1)
+    proxy = await open_proxy(clock, imp, seed ^ 0x51DE)
+    proxy.wire(host_a.addr, host_b.addr)
+    host_a.connect(proxy.addr)
+    host_b.connect(proxy.addr)
+
+    done = asyncio.Event()
+    remaining = len(specs)
+
+    def _finished(_sender: Sender) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            done.set()
+
+    rtt = wire_rtt_ps(imp, mss)
+    line_gbps = imp.rate_mbps / 1000.0 if imp.rate_mbps else 1.0
+    params = _uno_params(imp, mss=mss, min_rto_ps=min_rto_ps,
+                         max_rto_ps=max_rto_ps,
+                         rto_backoff_max=rto_backoff_max)
+    senders: List[Sender] = []
+    wall_start = time.monotonic()
+    for i, spec in enumerate(specs):
+        start_ps = clock.now + int(spec.start_ms * MS)
+        if spec.transport == "uno":
+            sender = start_uno_flow(
+                clock, net, host_a, host_b, spec.size_bytes, params,
+                start_ps=start_ps, seed=seed + i, base_rtt_ps=rtt,
+                abort=abort, on_complete=_finished,
+                receiver_idle_timeout_ps=idle_timeout_ps,
+            )
+        else:
+            sender = start_flow(
+                clock, net, DCTCP(), host_a, host_b, spec.size_bytes,
+                start_ps=start_ps, mss=mss, base_rtt_ps=rtt,
+                line_gbps=line_gbps, min_rto_ps=min_rto_ps,
+                max_rto_ps=max_rto_ps, rto_backoff_max=rto_backoff_max,
+                abort=abort, seed=seed + i, on_complete=_finished,
+                receiver_kwargs={"idle_timeout_ps": idle_timeout_ps},
+            )
+        senders.append(sender)
+
+    timed_out = False
+    if remaining:
+        try:
+            await asyncio.wait_for(done.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            timed_out = True
+
+    hosts = [host_a, host_b]
+    violations = check_wire_invariants(clock, hosts, senders, proxy,
+                                       timed_out=timed_out)
+    obs = clock.obs
+    max_backoff = None
+    if obs is not None and obs.events is not None:
+        backoffs = [span.get("backoff", 1)
+                    for span in obs.events.events("span", "rto")]
+        max_backoff = max(backoffs) if backoffs else 0
+
+    flows = []
+    idled_out = 0
+    abort_reasons: Dict[str, int] = {}
+    for spec, s in zip(specs, senders):
+        receiver = getattr(s, "receiver", None)
+        if receiver is not None and receiver.idled_out:
+            idled_out += 1
+        if s.stats.abort_reason is not None:
+            reason = s.stats.abort_reason
+            abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+        flows.append({
+            "flow": s.flow_id,
+            "transport": spec.transport,
+            "size_bytes": spec.size_bytes,
+            "completed": s.done,
+            "aborted": s.aborted,
+            "abort_reason": s.stats.abort_reason,
+            "fct_ms": (s.stats.fct_ps / MS
+                       if s.stats.fct_ps is not None else None),
+            "retransmissions": s.stats.retransmissions,
+            "timeouts": s.stats.timeouts,
+            "idled_out": bool(receiver is not None and receiver.idled_out),
+        })
+
+    # Summary counts come from the per-flow records built above, before
+    # teardown aborts whatever is stuck — a teardown abort must not
+    # masquerade as a policy abort in the totals.
+    completed = sum(1 for f in flows if f["completed"])
+    aborted = sum(1 for f in flows if f["aborted"])
+
+    # Teardown: abort whatever is still running (the violation is
+    # already recorded) so no timer outlives the loop, then close the
+    # sockets and let the cancellations drain.
+    for s in senders:
+        if not s.terminal:
+            s.abort("harness_teardown")
+    proxy.close()
+    host_a.close()
+    host_b.close()
+    await asyncio.sleep(0)
+    fcts = [f["fct_ms"] for f in flows if f["fct_ms"] is not None]
+    return {
+        "n_flows": len(senders),
+        "completed": completed,
+        "aborted": aborted,
+        "stuck": len(senders) - completed - aborted,
+        "abort_reasons": abort_reasons,
+        "idled_out": idled_out,
+        "timed_out": timed_out,
+        "flows": flows,
+        "violations": violations,
+        "n_violations": len(violations),
+        "max_backoff": max_backoff,
+        "mean_fct_ms": sum(fcts) / len(fcts) if fcts else None,
+        "max_fct_ms": max(fcts) if fcts else None,
+        "retransmissions": sum(f["retransmissions"] for f in flows),
+        "timeouts": sum(f["timeouts"] for f in flows),
+        "impairments": imp.describe(),
+        "proxy": proxy.stats(),
+        "hosts": {h.name: h.stats() for h in hosts},
+        "clock": clock.stats(),
+        "wall_s": time.monotonic() - wall_start,
+    }
+
+
+def run_wire(
+    specs: List[WireFlowSpec],
+    imp: Impairments,
+    *,
+    seed: int = 1,
+    mss: int = 4096,
+    min_rto_ps: int = 25 * MS,
+    max_rto_ps: int = 200 * MS,
+    rto_backoff_max: int = 8,
+    abort: Optional[AbortPolicy] = None,
+    timeout_s: float = 30.0,
+    idle_timeout_ps: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the pinned workload over loopback UDP; returns the JSON-ready
+    soak record (flows, violations, proxy/clock/host accounting).
+
+    ``idle_timeout_ps=None`` derives a receiver idle timeout safely
+    above the sender's maximum backed-off retry interval."""
+    # Pay down any gen-2 garbage debt from the host process *before*
+    # the wall-clock-sensitive run: a collection pass mid-soak stalls
+    # the event loop and the stall is read as RTT by every live flow.
+    gc.collect()
+    return asyncio.run(_run_wire(
+        list(specs), imp, seed=seed, mss=mss, min_rto_ps=min_rto_ps,
+        max_rto_ps=max_rto_ps, rto_backoff_max=rto_backoff_max,
+        abort=abort, timeout_s=timeout_s, idle_timeout_ps=idle_timeout_ps,
+    ))

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.experiments",
+    "repro.wire",
 ]
 
 
@@ -132,4 +133,33 @@ class TestPacketBoundary:
         assert not bypasses, (
             "cross-component handoffs bypassing PacketSink:\n"
             + "\n".join(bypasses)
+        )
+
+
+class TestSeededRandomness:
+    """Every random decision draws from an injected seeded RNG.
+
+    Chaos scenarios, the wire impairment proxy, workload generators —
+    all of them take a ``random.Random`` (or a seed) and draw from it,
+    so two runs with the same seed make the same decisions. A draw from
+    module-global ``random`` (``random.random()``, ``random.choice()``,
+    ...) silently breaks that reproducibility; the only sanctioned
+    module-level use is constructing ``random.Random(seed)`` instances.
+    """
+
+    def test_no_module_global_random_draws(self):
+        src = pathlib.Path(repro.__file__).resolve().parent
+        # Match ``random.<fn>(`` where ``random`` is the module (not an
+        # attribute like ``rng.random(``) and ``<fn>`` is not the
+        # ``Random`` constructor.
+        draw = re.compile(r"(?<![\w.])random\.(?!Random\b)\w+\(")
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            rel = path.relative_to(src).as_posix()
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if draw.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "module-global random draws (inject a seeded Random instead):\n"
+            + "\n".join(offenders)
         )

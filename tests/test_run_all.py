@@ -117,3 +117,39 @@ class TestChaosCLI:
     def test_negative_retries_rejected(self, capsys):
         with pytest.raises(SystemExit):
             run_all.main(["--only", "fig1", "--retries", "-1"])
+
+
+class TestWireCLI:
+    def test_wire_campaign_runs_and_writes_summary(self, capsys, tmp_path):
+        run_all.main(["--wire", "compare", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Wire campaign" in out
+        assert "all gates passed" in out
+        summary = json.loads(
+            (tmp_path / "summaries" / "wire-compare.json").read_text())
+        assert summary["campaign"] == "compare"
+        assert summary["all_gates_passed"] is True
+        assert summary["n_points"] == 2
+        points = list((tmp_path / "points" / "wire").glob("*.json"))
+        assert len(points) == 2
+
+    def test_unknown_wire_campaign_rejected_eagerly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_all.main(["--wire", "nope"])
+        assert exc.value.code == 2  # argparse usage error, not a crash
+        assert "choose from" in capsys.readouterr().err
+
+    def test_wire_is_mutually_exclusive(self, capsys):
+        for extra in (["--chaos", "smoke"], ["--shards", "2"],
+                      ["--only", "fig1"]):
+            with pytest.raises(SystemExit) as exc:
+                run_all.main(["--wire", "soak"] + extra)
+            assert exc.value.code == 2
+
+    def test_list_campaigns_prints_both_grids_and_exits_zero(self, capsys):
+        run_all.main(["--list-campaigns"])
+        out = capsys.readouterr().out
+        assert "chaos campaigns" in out
+        assert "wire campaigns" in out
+        for name in ("smoke", "soak", "compare", "full"):
+            assert name in out

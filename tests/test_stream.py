@@ -303,6 +303,61 @@ class TestDashboardConsumer:
         assert "UNDETECTED" in capsys.readouterr().out
 
 
+    def test_wire_section_renders_and_gates(self, tmp_path, capsys):
+        dash = _load_dashboard()
+        out = tmp_path / "out"
+        (out / "summaries").mkdir(parents=True)
+        summary = {
+            "campaign": "full", "n_points": 2, "total_violations": 0,
+            "n_failed_points": 0, "all_gates_passed": True,
+            "failed_gates": [],
+            "points": {
+                "full/blackhole-uno": {
+                    "cell": "blackhole", "transport": "uno",
+                    "n_flows": 2, "completed": 0, "aborted": 2,
+                    "idled_out": 2, "max_backoff": 8,
+                    "n_violations": 0, "retransmissions": 9,
+                    "mean_fct_ms": None, "gate_ok": True,
+                    "gate_failures": []},
+                "full/compare-uno": {
+                    "cell": "compare", "transport": "uno",
+                    "mean_fct_ratio": 0.92, "sim_mean_fct_ms": 63.3,
+                    "wire_mean_fct_ms": 58.2, "retx_delta": 8,
+                    "n_violations": 0, "gate_ok": True,
+                    "gate_failures": []},
+            },
+        }
+        (out / "summaries" / "wire-full.json").write_text(
+            json.dumps(summary))
+        html_path = tmp_path / "report.html"
+        assert dash.main([str(out), "--html", str(html_path),
+                          "--bench-dir", str(tmp_path / "nb")]) == 0
+        text = capsys.readouterr().out
+        assert "sim-to-wire:" in text
+        assert "2 aborted (2 idled out, max backoff 8)" in text
+        assert "wire/sim fct 0.92x" in text
+        report = html_path.read_text()
+        assert "Sim-to-wire" in report and "retx delta 8" in report
+        # A failed soak/compare gate flips the dashboard gate too.
+        summary["all_gates_passed"] = False
+        summary["failed_gates"] = ["full/compare-uno"]
+        summary["points"]["full/compare-uno"]["gate_ok"] = False
+        (out / "summaries" / "wire-full.json").write_text(
+            json.dumps(summary))
+        assert dash.main([str(out)]) == 1
+        assert "GATE FAILED" in capsys.readouterr().out
+
+    def test_no_wire_artifacts_omits_the_section(self, tmp_path, capsys):
+        """A results directory without wire summaries renders (and
+        gates) exactly as before the wire section existed."""
+        dash = _load_dashboard()
+        out = tmp_path / "out"
+        out.mkdir()
+        assert dash.main([str(out),
+                          "--bench-dir", str(tmp_path / "nb")]) == 0
+        assert "sim-to-wire" not in capsys.readouterr().out
+
+
 class TestShardedTelemetryIntegration:
     def test_inline_two_shard_trace_conserves_and_stitches(self, tmp_path):
         from repro.experiments.sharded import TwoDCWorkload, run_sharded

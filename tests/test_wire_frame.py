@@ -1,0 +1,166 @@
+"""Wire-framing property tests: randomized pack/unpack roundtrips over
+every packet kind (including the PFC PAUSE/RESUME frames) and rejection
+of everything that is not a well-formed frame."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import (
+    ACK,
+    CNP,
+    DATA,
+    NACK,
+    PAUSE,
+    RESUME,
+    Packet,
+    make_ack,
+    make_nack,
+    make_pause,
+    make_resume,
+)
+from repro.wire.frame import (
+    FrameError,
+    HEADER_SIZE,
+    MAGIC,
+    VERSION,
+    WIRE_KINDS,
+    pack_packet,
+    payload_bytes,
+    unpack_packet,
+)
+
+#: Slots the wire must carry faithfully for every kind.
+CARRIED_SLOTS = (
+    "kind", "flow_id", "src", "dst", "sport", "dport", "seq", "size",
+    "payload", "ecn", "sent_ps", "echo_sent_ps", "ecn_echo", "block_id",
+    "block_pos", "nack_block", "retx", "hops", "int_util",
+)
+
+
+def random_packet(rng: random.Random, kind: int) -> Packet:
+    """A packet of ``kind`` with randomized values in every slot the
+    header carries, exercising each optional-field flag combination."""
+    pkt = Packet(
+        kind,
+        flow_id=rng.randrange(-1, 2**40),
+        src=rng.randrange(-1, 2**31 - 1),
+        dst=rng.randrange(-1, 2**31 - 1),
+        seq=rng.randrange(-2, 2**40),
+        size=rng.randrange(0, 2**31),
+        sport=rng.randrange(0, 2**16),
+        dport=rng.randrange(0, 2**16),
+        # DATA payloads stay small so roundtrip tests are cheap; the
+        # header field itself is 32-bit.
+        payload=rng.randrange(0, 9000) if kind == DATA
+        else rng.randrange(0, 2**31),
+    )
+    pkt.ecn = rng.random() < 0.5
+    pkt.ecn_echo = rng.random() < 0.5
+    pkt.sent_ps = rng.randrange(0, 2**60)
+    pkt.echo_sent_ps = rng.randrange(0, 2**60)
+    pkt.block_id = rng.randrange(0, 2**30) if rng.random() < 0.5 else None
+    pkt.block_pos = rng.randrange(0, 2**20)
+    pkt.nack_block = rng.randrange(0, 2**30) if rng.random() < 0.5 else None
+    pkt.retx = rng.randrange(0, 2**16)
+    pkt.hops = rng.randrange(0, 2**8)
+    pkt.int_util = rng.random()
+    return pkt
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("kind", WIRE_KINDS)
+    def test_randomized_roundtrip_preserves_every_slot(self, kind):
+        rng = random.Random(0xF4A3E + kind)
+        for _ in range(200):
+            pkt = random_packet(rng, kind)
+            out, blob = unpack_packet(pack_packet(pkt))
+            for slot in CARRIED_SLOTS:
+                assert getattr(out, slot) == getattr(pkt, slot), slot
+            if kind == DATA:
+                assert blob == payload_bytes(pkt.flow_id, pkt.seq,
+                                             pkt.payload)
+            else:
+                assert blob == b""
+
+    def test_data_payload_pattern_is_per_flow_and_seq(self):
+        assert payload_bytes(1, 2, 64) != payload_bytes(1, 3, 64)
+        assert payload_bytes(1, 2, 64) != payload_bytes(2, 2, 64)
+        assert payload_bytes(7, 9, 0) == b""
+        assert len(payload_bytes(7, 9, 1000)) == 1000
+
+    def test_helper_constructed_frames_roundtrip(self):
+        data = Packet(DATA, 5, src=1, dst=2, seq=3, size=4096,
+                      sport=7, dport=8, payload=4032)
+        data.sent_ps = 123456
+        data.ecn = True
+        frames = [
+            data,
+            make_ack(data, now_ps=999),
+            make_nack(5, src=2, dst=1, block_id=17),
+            make_pause(src=3, dst=4, link_index=2, hold_ps=100_000),
+            make_resume(src=4, dst=3, link_index=2),
+        ]
+        for pkt in frames:
+            out, _ = unpack_packet(pack_packet(pkt))
+            for slot in CARRIED_SLOTS:
+                assert getattr(out, slot) == getattr(pkt, slot), slot
+
+    def test_pfc_frames_carry_link_index_and_hold(self):
+        pause = make_pause(src=1, dst=2, link_index=3, hold_ps=50_000)
+        out, _ = unpack_packet(pack_packet(pause))
+        assert out.kind == PAUSE
+        assert out.seq == 3            # link index rides seq
+        assert out.payload == 50_000   # hold quantum rides payload
+        resume = make_resume(src=2, dst=1, link_index=3)
+        out, _ = unpack_packet(pack_packet(resume))
+        assert out.kind == RESUME
+        assert out.seq == 3
+
+
+class TestRejection:
+    def _frame(self, kind=ACK):
+        return pack_packet(Packet(kind, 1, src=1, dst=2, seq=0, size=64))
+
+    def test_every_truncation_is_rejected(self):
+        frame = pack_packet(Packet(DATA, 1, src=1, dst=2, seq=0,
+                                   size=4096, payload=256))
+        for cut in range(len(frame)):
+            with pytest.raises(FrameError):
+                unpack_packet(frame[:cut])
+
+    def test_trailing_bytes_are_rejected(self):
+        with pytest.raises(FrameError):
+            unpack_packet(self._frame() + b"\x00")
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(self._frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            unpack_packet(bytes(frame))
+
+    def test_bad_version_is_rejected(self):
+        frame = bytearray(self._frame())
+        frame[len(MAGIC)] = VERSION + 1
+        with pytest.raises(FrameError, match="version"):
+            unpack_packet(bytes(frame))
+
+    def test_unknown_kind_is_rejected(self):
+        frame = bytearray(self._frame())
+        frame[len(MAGIC) + 1] = max(WIRE_KINDS) + 1
+        with pytest.raises(FrameError, match="kind"):
+            unpack_packet(bytes(frame))
+        with pytest.raises(FrameError, match="kind"):
+            pack_packet(Packet(99, 1, src=1, dst=2, seq=0, size=64))
+
+    def test_empty_and_garbage_datagrams_are_rejected(self):
+        with pytest.raises(FrameError):
+            unpack_packet(b"")
+        rng = random.Random(0xBAD)
+        for _ in range(50):
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, 3 * HEADER_SIZE)))
+            if blob[:2] == MAGIC:  # pragma: no cover - 1-in-65536 draw
+                continue
+            with pytest.raises(FrameError):
+                unpack_packet(blob)

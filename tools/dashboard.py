@@ -15,6 +15,8 @@ simulator's hot path, only reads the files the campaign writes:
   incrementally; torn final lines are retried on the next poll);
 - ``summaries/chaos-*.json`` — chaos campaign verdicts (invariant
   status);
+- ``summaries/wire-*.json`` — sim-to-wire campaign verdicts (soak
+  gates, sim-vs-wire FCT deltas per compare cell);
 - ``summaries/sharded-two-dc.json`` + ``telemetry/sharded/`` — the
   merged cross-shard trace, its conservation status, and per-flow span
   timelines (flagged flows get a waterfall);
@@ -23,8 +25,9 @@ simulator's hot path, only reads the files the campaign writes:
 
 ``--html FILE`` writes a static self-contained report (inline CSS +
 SVG, no external assets). Exit status is the CI gate: non-zero when the
-campaign has failed points, a chaos invariant was violated, or the
-trace aggregator reports conservation violations.
+campaign has failed points, a chaos invariant was violated, a wire
+campaign's soak/compare gates failed, or the trace aggregator reports
+conservation violations.
 """
 
 from __future__ import annotations
@@ -160,6 +163,44 @@ def chaos_summaries(out: Path) -> List[Tuple[str, Dict[str, Any]]]:
         if data is not None:
             rows.append((path.stem, data))
     return rows
+
+
+def wire_summaries(out: Path) -> List[Tuple[str, Dict[str, Any]]]:
+    rows = []
+    for path in sorted((out / "summaries").glob("wire-*.json")):
+        data = read_json(path)
+        if data is not None:
+            rows.append((path.stem, data))
+    return rows
+
+
+def wire_gate_ok(data: Dict[str, Any]) -> bool:
+    return (data.get("all_gates_passed", False)
+            and not data.get("n_failed_points", 0))
+
+
+def wire_cell_detail(cell: Dict[str, Any]) -> str:
+    """One wire point as a phrase: sim-vs-wire FCT delta for compare
+    cells, terminal outcomes (and the abort paths taken) for soak
+    cells."""
+    if cell.get("cell") == "compare":
+        ratio = cell.get("mean_fct_ratio")
+        if ratio is None:
+            return "compare: no completed flows"
+        return (f"wire/sim fct {ratio:.2f}x "
+                f"(sim {cell.get('sim_mean_fct_ms', 0):.1f} ms, "
+                f"wire {cell.get('wire_mean_fct_ms', 0):.1f} ms), "
+                f"retx delta {cell.get('retx_delta', 0)}")
+    n = cell.get("n_flows", 0)
+    detail = (f"{cell.get('completed', 0)}/{n} completed, "
+              f"{cell.get('aborted', 0)} aborted")
+    if cell.get("aborted"):
+        detail += (f" ({cell.get('idled_out', 0)} idled out, "
+                   f"max backoff {cell.get('max_backoff', 0)})")
+    fct = cell.get("mean_fct_ms")
+    if fct is not None:
+        detail += f", fct {fct:.1f} ms"
+    return detail
 
 
 def sharded_summary(out: Path) -> Optional[Dict[str, Any]]:
@@ -307,6 +348,28 @@ def render_pfc(rows: List[Tuple[str, Dict[str, Any]]],
                          f"UNDETECTED")
 
 
+def render_wire(rows: List[Tuple[str, Dict[str, Any]]],
+                lines: List[str]) -> None:
+    """Sim-to-wire section: soak terminal outcomes and sim-vs-wire FCT
+    deltas per cell. Omitted entirely when no wire campaign has written
+    a summary — a results directory without wire artifacts renders (and
+    gates) exactly as before."""
+    if not rows:
+        return
+    lines.append("")
+    lines.append("sim-to-wire:")
+    for name, data in rows:
+        verdict = "OK" if wire_gate_ok(data) else "FAILED"
+        lines.append(f"  {name}: {data.get('n_points', 0)} points, "
+                     f"{data.get('total_violations', 0)} violations, "
+                     f"{data.get('n_failed_points', 0)} failed "
+                     f"-> {verdict}")
+        for pname, cell in sorted(data.get("points", {}).items()):
+            gate = "ok" if cell.get("gate_ok") else "GATE FAILED"
+            lines.append(f"    {pname:<28} "
+                         f"{wire_cell_detail(cell)} [{gate}]")
+
+
 def render_sharded(summary: Optional[Dict[str, Any]],
                    meta: Optional[Dict[str, Any]],
                    lines: List[str]) -> None:
@@ -400,6 +463,8 @@ def render_terminal(out: Path, state: CampaignState, bench_dir: Path,
     chaos = chaos_summaries(out)
     render_chaos(chaos, lines)
     render_pfc(chaos, lines)
+    wire = wire_summaries(out)
+    render_wire(wire, lines)
     summary = sharded_summary(out)
     meta = trace_meta(out)
     render_sharded(summary, meta, lines)
@@ -422,6 +487,9 @@ def render_terminal(out: Path, state: CampaignState, bench_dir: Path,
         if data.get("total_violations", 0) or \
                 not data.get("all_flows_terminal", True) or \
                 data.get("undetected_deadlocks", 0):
+            gate_ok = False
+    for _, data in wire:
+        if not wire_gate_ok(data):
             gate_ok = False
     if summary is not None:
         if not summary.get("equivalent", True):
@@ -603,6 +671,29 @@ def render_html(out: Path, state: CampaignState, bench_dir: Path,
                 parts.append(f"<p>victim slowdown "
                              f"<span class='mono'>{esc(pname)}</span>: "
                              f"{ratio}x vs lossy twin</p>")
+
+    # Sim-to-wire campaigns (omitted when no wire summary exists).
+    wire = wire_summaries(out)
+    if wire:
+        parts.append("<h2>Sim-to-wire</h2>")
+        for name, data in wire:
+            parts.append(
+                f"<p><b>{esc(name)}</b>: {data.get('n_points', 0)} "
+                f"points, {data.get('total_violations', 0)} violations, "
+                f"{data.get('n_failed_points', 0)} failed — "
+                f"{verdict_html(wire_gate_ok(data))}</p>")
+            if not data.get("points"):
+                continue
+            parts.append("<table><tr><th>point</th><th>cell</th>"
+                         "<th>detail</th><th>gate</th></tr>")
+            for pname, cell in sorted(data["points"].items()):
+                parts.append(
+                    f"<tr><td class='mono'>{esc(pname)}</td>"
+                    f"<td>{esc(str(cell.get('cell', '?')))}</td>"
+                    f"<td>{esc(wire_cell_detail(cell))}</td>"
+                    f"<td>{verdict_html(bool(cell.get('gate_ok')))}"
+                    f"</td></tr>")
+            parts.append("</table>")
 
     # Sharded trace.
     summary = sharded_summary(out)

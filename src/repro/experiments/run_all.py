@@ -508,6 +508,13 @@ def write_telemetry(telemetry_dir: Path, records, cache: ResultCache) -> None:
             merged_profile["events_per_sec"] = (
                 merged_profile["events"] / merged_profile["wall_s"]
             )
+        if merged_profile is not None:
+            # Recompute the qualname histogram over the merged sites:
+            # merge_numeric kept only the first point's ranking.
+            from repro.obs.profile import rank_sites
+
+            merged_profile["top_sites"] = rank_sites(
+                merged_profile.get("sites", {}))
         summary = {
             "experiment": experiment,
             "points": index,

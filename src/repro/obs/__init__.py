@@ -46,7 +46,7 @@ from repro.obs.metrics import (
     metric_key,
     sum_numeric,
 )
-from repro.obs.profile import EngineProfiler
+from repro.obs.profile import EngineProfiler, rank_sites
 from repro.obs.spans import SPAN_KINDS, FlowSpans
 from repro.obs.stream import (
     StreamBufferSink,
@@ -258,12 +258,14 @@ class TelemetryContext:
             "metrics": metrics if metrics is not None else {},
         }
         if profile is not None:
-            # The merged rate is a derived quantity; recompute it rather
-            # than keeping the (meaningless) sum of per-sim rates.
+            # Derived quantities are recomputed after the merge: the sum
+            # of per-sim rates is meaningless, and merge_numeric keeps
+            # only the first simulator's top_sites ranking.
             profile["events_per_sec"] = (
                 profile["events"] / profile["wall_s"]
                 if profile.get("wall_s") else 0.0
             )
+            profile["top_sites"] = rank_sites(profile.get("sites", {}))
             out["profile"] = profile
         if events is not None:
             out["events"] = events

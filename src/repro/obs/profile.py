@@ -23,6 +23,26 @@ def site_name(fn: Callable[..., Any]) -> str:
     return getattr(fn, "__qualname__", None) or repr(fn)
 
 
+def rank_sites(sites: Dict[str, Dict[str, Any]], n: int = 10):
+    """Rank a snapshot-form ``sites`` mapping by wall time.
+
+    The qualname histogram surfaced in telemetry summaries: each entry
+    names the callback site, its call count, its wall time, and its
+    share of the summed per-site wall time. Works on both a single
+    profiler's snapshot and a ``merge_numeric``-merged one, so summary
+    writers recompute it *after* merging (a merged list would otherwise
+    keep only the first simulator's ranking).
+    """
+    total = sum(s["wall_s"] for s in sites.values()) or 1.0
+    ranked = sorted(sites.items(), key=lambda kv: kv[1]["wall_s"],
+                    reverse=True)
+    return [
+        {"site": name, "calls": s["calls"], "wall_s": s["wall_s"],
+         "frac": s["wall_s"] / total}
+        for name, s in ranked[:n]
+    ]
+
+
 class SiteStats:
     """Tally for one callback site."""
 
@@ -72,15 +92,18 @@ class EngineProfiler:
         return ranked[:n]
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready profile: totals plus per-site calls and wall time."""
+        """JSON-ready profile: totals, per-site calls and wall time, and
+        the ranked qualname histogram (``top_sites``)."""
+        sites = {
+            name: {"calls": s.calls, "wall_s": s.wall_s}
+            for name, s in sorted(self.sites.items())
+        }
         return {
             "events": self.events,
             "wall_s": self.wall_s,
             "events_per_sec": self.events_per_sec,
-            "sites": {
-                name: {"calls": s.calls, "wall_s": s.wall_s}
-                for name, s in sorted(self.sites.items())
-            },
+            "sites": sites,
+            "top_sites": rank_sites(sites),
         }
 
     def report(self, n: int = 10) -> str:

@@ -629,12 +629,18 @@ def check_invariants(
                     "ctrl_pkts": link.ctrl_pkts,
                     "accounted": accounted,
                 })
-            fifo_bytes = sum(p.size for p in port._fifo)
-            if fifo_bytes != port.bytes_queued:
+            # Settle any batch-advanced serializations first so the byte
+            # counter reflects only what is actually still queued; the
+            # unsettled remainder of the drain schedule (committed to the
+            # link but still serializing) is queued bytes too.
+            queued_bytes = port.occupancy_bytes()
+            fifo_bytes = (sum(p.size for p in port._fifo)
+                          + sum(s for _, s in port._sched))
+            if fifo_bytes != queued_bytes:
                 violations.append({
                     "invariant": "pause_accounting",
                     "port": port.name,
-                    "bytes_queued": port.bytes_queued,
+                    "bytes_queued": queued_bytes,
                     "fifo_bytes": fifo_bytes,
                 })
             if port._fifo and not port._busy and not port.paused:

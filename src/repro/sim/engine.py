@@ -18,9 +18,15 @@ Two mechanisms keep the heap small on the packet hot path:
   the per-event order: the heap orders by ``(time, seq)`` and does not
   require seqs to be pushed monotonically.
 - **Tombstone compaction**: cancelled handles stay in the heap as
-  tombstones (cancellation is O(1)); when tombstones reach half the heap
-  the next schedule call rebuilds it in place, so pathological timer
-  churn cannot degrade every subsequent heap operation.
+  tombstones (cancellation is O(1) amortised); when tombstones reach
+  half the heap the *cancel* that crossed the threshold rebuilds it in
+  place, so pathological timer churn cannot degrade every subsequent
+  heap operation — and the per-packet schedule path never re-checks.
+- **Event credits** (:meth:`Simulator.credit_events`): a component that
+  batch-advances several logical events inside one callback (a port
+  settling its precomputed drain schedule) credits the absorbed events,
+  keeping :attr:`Simulator.events_executed` equal to what the
+  one-callback-per-packet reference path would have executed.
 """
 
 from __future__ import annotations
@@ -42,16 +48,14 @@ _NO_LIMIT = 1 << 200
 class EventHandle:
     """A scheduled callback; ``cancel()`` prevents it from firing.
 
-    Only cancel handles that are still armed (scheduled and not yet
-    fired): the owning simulator counts cancellations to size its
-    tombstone compaction, and cancelling an already-fired handle skews
-    that count until the next compaction resets it (harmless but
-    wasteful). Components in this repo null out their handle references
-    when a timer fires, which makes double-cancel impossible by
-    construction; ``cancel()`` itself is idempotent regardless.
+    ``cancel()`` is idempotent, and a no-op once the handle has fired:
+    the engine flips ``fired`` as it pops the entry, so a late cancel
+    (a component tearing down a timer that already went off) neither
+    tombstones anything nor skews the simulator's cancellation count.
+    Re-arming (:meth:`Simulator.rearm`) clears ``fired`` again.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "sim")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "sim")
 
     def __init__(self, time: int, fn: Callable[..., Any], args: tuple,
                  sim: Optional["Simulator"] = None):
@@ -59,10 +63,11 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.sim = sim
 
     def cancel(self) -> None:
-        if self.cancelled:
+        if self.cancelled or self.fired:
             return
         self.cancelled = True
         # Drop references so cancelled timers don't pin packets/flows alive.
@@ -70,7 +75,13 @@ class EventHandle:
         self.args = ()
         sim = self.sim
         if sim is not None:
-            sim._n_cancelled += 1
+            # Compaction is sized and triggered here, on the cancel path:
+            # cancelling is orders of magnitude rarer than scheduling, so
+            # the per-packet schedule path stays branch-free.
+            sim._n_cancelled = n = sim._n_cancelled + 1
+            if (n > sim.COMPACT_MIN_TOMBSTONES
+                    and n * 2 >= len(sim._heap)):
+                sim._compact()
 
 
 def _noop(*_args: Any) -> None:
@@ -113,9 +124,6 @@ class Simulator:
         handle = EventHandle(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
-        if (self._n_cancelled > self.COMPACT_MIN_TOMBSTONES
-                and self._n_cancelled * 2 >= len(self._heap)):
-            self._compact()
         return handle
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -124,14 +132,12 @@ class Simulator:
             raise ValueError(f"negative delay: {delay}")
         # Inlined body of at(): this is the hottest scheduling entry
         # point (one call per packet per hop), and now + delay can never
-        # be in the past.
+        # be in the past. Compaction is checked on the cancel path (see
+        # EventHandle.cancel), never here.
         time = self.now + delay
         handle = EventHandle(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
-        if (self._n_cancelled > self.COMPACT_MIN_TOMBSTONES
-                and self._n_cancelled * 2 >= len(self._heap)):
-            self._compact()
         return handle
 
     def reserve_seq(self) -> int:
@@ -169,7 +175,22 @@ class Simulator:
             self._seq += 1
             seq = self._seq
         handle.time = time
+        handle.fired = False
         heapq.heappush(self._heap, (time, seq, handle))
+
+    def credit_events(self, n: int) -> None:
+        """Account ``n`` logical events that a batch-advance executed
+        without individual callbacks.
+
+        A component that coalesces several per-packet events into one
+        callback (a port settling its precomputed drain schedule)
+        credits the events it absorbed, so :attr:`events_executed`
+        keeps counting *simulation* events — the unit every benchmark
+        and the batch-vs-reference equality tests compare — rather
+        than Python callback invocations. ``max_events`` budgets count
+        callbacks only and are unaffected.
+        """
+        self._n_executed += n
 
     def _compact(self) -> None:
         """Drop tombstones and re-heapify, in place: ``run()`` holds a
@@ -202,25 +223,44 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         limit = _NO_LIMIT if until is None else until
-        budget = -1 if max_events is None else max_events
         # Pop-first: popping returns the entry the peek would read, so
         # the loop touches the heap once per event; the rare entry past
-        # the limit (at most one per run() call) is pushed back.
-        while heap:
-            entry = pop(heap)
-            time = entry[0]
-            if time > limit:
-                heapq.heappush(heap, entry)
-                break
-            handle = entry[2]
-            if handle.cancelled:
-                self._n_cancelled -= 1
-                continue
-            self.now = time
-            handle.fn(*handle.args)
-            executed += 1
-            if executed == budget:
-                break
+        # the limit (at most one per run() call) is pushed back. The
+        # common no-budget call gets a loop with one fewer compare per
+        # event, and an IndexError from popping the emptied heap ends it
+        # (zero-cost try; no per-iteration truthiness test).
+        try:
+            if max_events is None:
+                while True:
+                    time, _, handle = pop(heap)
+                    if time > limit:
+                        heapq.heappush(heap, (time, _, handle))
+                        break
+                    if handle.cancelled:
+                        self._n_cancelled -= 1
+                        continue
+                    self.now = time
+                    handle.fired = True
+                    handle.fn(*handle.args)
+                    executed += 1
+            else:
+                budget = max_events
+                while True:
+                    time, _, handle = pop(heap)
+                    if time > limit:
+                        heapq.heappush(heap, (time, _, handle))
+                        break
+                    if handle.cancelled:
+                        self._n_cancelled -= 1
+                        continue
+                    self.now = time
+                    handle.fired = True
+                    handle.fn(*handle.args)
+                    executed += 1
+                    if executed == budget:
+                        break
+        except IndexError:
+            pass
         if until is not None and self.now < until and (
             not heap or heap[0][0] > until
         ):
@@ -254,6 +294,7 @@ class Simulator:
                 self._n_cancelled -= 1
                 continue
             self.now = time
+            handle.fired = True
             fn = handle.fn
             t0 = clock()
             fn(*handle.args)
@@ -278,6 +319,7 @@ class Simulator:
                 self._n_cancelled -= 1
                 continue
             self.now = time
+            handle.fired = True
             handle.fn(*handle.args)
             self._n_executed += 1
             return True

@@ -18,6 +18,18 @@ that key and nothing else). On a high-BDP inter-DC link this replaces
 hundreds of heap entries with one. Set the module flag
 ``COALESCED_DELIVERY = False`` before constructing links to get the
 reference one-event-per-packet path (the determinism tests diff the two).
+
+The feeding :class:`~repro.sim.queues.Port` may additionally
+**batch-advance** its drain (see ``queues.BATCH_DRAIN``): it hands each
+packet to :meth:`Link._schedule` at *enqueue* time with the precomputed
+serialization-finish instant, instead of calling :meth:`transmit` from a
+per-packet finish callback. Scheduled entries sit in the same in-flight
+deque (their wire-entry time is ``deliver_ps - prop_ps``); anything that
+could change a not-yet-on-the-wire packet's fate — ``fail()``, attaching
+a loss model, a direct :meth:`transmit` racing ahead of the schedule —
+first *recalls* the future entries to the port (:meth:`_recall` /
+``Port._rollback``), which replays them through the reference per-packet
+path so failure and loss semantics stay event-for-event identical.
 """
 
 from __future__ import annotations
@@ -49,7 +61,8 @@ class Link:
         "src",
         "_sink",
         "up",
-        "loss_model",
+        "_loss_model",
+        "_port",
         "delivered_pkts",
         "lost_pkts",
         "failed_drops",
@@ -86,7 +99,12 @@ class Link:
         # owning Network uses it to patch next-hop tables (failure-aware
         # routing). None outside a Network (unit tests, raw links).
         self.on_state_change: Optional[Callable[["Link"], None]] = None
-        self.loss_model: Optional[LossModel] = None
+        self._loss_model: Optional[LossModel] = None
+        # Back-reference to the feeding Port (wired by Port.__init__).
+        # The batch-advance handshake needs it: _drain settles the port's
+        # drain schedule, and fail()/loss-model changes recall scheduled
+        # packets. None for raw links driven without a port (unit tests).
+        self._port = None
         self.delivered_pkts = 0
         self.lost_pkts = 0
         self.failed_drops = 0
@@ -141,8 +159,31 @@ class Link:
 
     @property
     def inflight_pkts(self) -> int:
-        """Packets currently propagating (coalesced path only)."""
+        """Packets currently propagating (coalesced path only) — under
+        batch-advance this includes packets still serializing at the
+        feeding port (their wire-entry time is in the future)."""
         return len(self._inflight)
+
+    @property
+    def loss_model(self) -> Optional[LossModel]:
+        """Stochastic per-packet loss process, or None for a clean wire.
+
+        Assignable mid-run (chaos loss episodes do): the setter first
+        recalls any batch-scheduled future packets back to the feeding
+        port, so packets that had not reached the wire when the model was
+        attached get their loss draw at serialization-finish time exactly
+        as the reference per-packet path would."""
+        return self._loss_model
+
+    @loss_model.setter
+    def loss_model(self, model: Optional[LossModel]) -> None:
+        port = self._port
+        if port is not None:
+            if port._sched:
+                port._rollback()
+            else:
+                port._batch = None
+        self._loss_model = model
 
     def transmit(self, pkt: Packet) -> None:
         """Called by the port when serialization completes.
@@ -155,11 +196,18 @@ class Link:
             raise WiringError(
                 f"link {self.name}: transmit before connect() wired a sink"
             )
+        port = self._port
+        if port is not None and port._sched:
+            # A direct transmission (PFC control frame, test harness)
+            # racing ahead of batch-scheduled packets would land on the
+            # wire out of FIFO order; recall the schedule first so this
+            # packet queues behind exactly what is already on the wire.
+            port._rollback()
         if not self.up:
             self.failed_drops += 1
             self._emit_failed_drop(pkt, sim.now)
             return
-        lm = self.loss_model
+        lm = self._loss_model
         if lm is not None and lm(pkt, sim.now):
             self.lost_pkts += 1
             ev = self._events
@@ -181,9 +229,59 @@ class Link:
                 else:
                     # sim.rearm(handle, t, s) inlined (hot path).
                     handle.time = t
+                    handle.fired = False
                     heappush(sim._heap, (t, s, handle))
         else:
             sim.after(self.prop_ps, self._deliver, pkt)
+
+    def _schedule(self, pkt: Packet, finish_ps: int) -> None:
+        """Batch-advance entry point: accept a packet whose serialization
+        the feeding port has committed to finish at ``finish_ps`` >= now.
+
+        Called from ``Port.enqueue``'s fast path instead of a per-packet
+        finish callback later invoking :meth:`transmit`. The delivery seq
+        is reserved now (commit time) rather than at finish time; the
+        deque stays FIFO because the port commits finishes monotonically
+        and every mode switch recalls future entries first.
+        """
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        q = self._inflight
+        q.append((finish_ps + self.prop_ps, seq, pkt))
+        if not self._drain_armed:
+            self._drain_armed = True
+            t, s, _ = q[0]
+            handle = self._drain_handle
+            if handle is None:
+                self._drain_handle = sim.at_seq(t, s, self._drain)
+            else:
+                handle.time = t
+                handle.fired = False
+                heappush(sim._heap, (t, s, handle))
+
+    def _recall(self, expect: int) -> list:
+        """Hand back every scheduled packet not yet on the wire, in FIFO
+        order, for the feeding port's rollback to re-serialize through
+        the reference path. ``expect`` is the port's unsettled schedule
+        length; a mismatch means the port/link handshake lost a packet
+        and is raised rather than silently corrupted."""
+        q = self._inflight
+        now = self.sim.now
+        prop = self.prop_ps
+        out = []
+        while q and q[-1][0] - prop > now:
+            out.append(q.pop()[2])
+        if len(out) != expect:
+            raise RuntimeError(
+                f"link {self.name}: recalled {len(out)} scheduled packets "
+                f"but the port expected {expect}"
+            )
+        out.reverse()
+        if not q and self._drain_armed:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+            self._drain_armed = False
+        return out
 
     def transmit_ctrl(self, pkt: Packet) -> None:
         """Inject a MAC control frame (PFC PAUSE/RESUME) onto the wire.
@@ -212,16 +310,38 @@ class Link:
         now = sim.now
         q = self._inflight
         self._drain_armed = False
+        port = self._port
+        if port is not None:
+            sched = port._sched
+            if sched and sched[0][0] <= now:
+                # Settle the feeding port's drain schedule before
+                # delivering (loop inlined from Port._settle — once per
+                # packet in steady state): every serialization that
+                # logically completed by now must be reflected in
+                # tx_bytes / occupancy (and credited as an event) before
+                # downstream receive callbacks can observe the port.
+                bq = port.bytes_queued
+                n = 0
+                while sched and sched[0][0] <= now:
+                    bq -= sched.popleft()[1]
+                    n += 1
+                port.tx_bytes += port.bytes_queued - bq
+                port.bytes_queued = bq
+                sim._n_executed += n
         sink = self._sink
+        delivered = 0
         while q and q[0][0] <= now:
             pkt = q.popleft()[2]
-            self.delivered_pkts += 1
+            delivered += 1
             sink.receive(pkt)
+        if delivered:
+            self.delivered_pkts += delivered
         if q:
             t, s, _ = q[0]
             self._drain_armed = True
             handle = self._drain_handle
             handle.time = t
+            handle.fired = False
             heappush(sim._heap, (t, s, handle))
 
     def _deliver(self, pkt: Packet) -> None:
@@ -268,6 +388,18 @@ class Link:
         if not self.up:
             return
         self.up = False
+        port = self._port
+        if port is not None:
+            # Batch-scheduled packets that have not reached the wire are
+            # NOT in flight: recall them to the port before the flush so
+            # they re-serialize and hit the down link as per-packet
+            # failed_drops at their finish times, as the reference path
+            # would. (_batch invalidates either way: no new commits while
+            # the link is down.)
+            if port._sched:
+                port._rollback()
+            else:
+                port._batch = None
         self.failures += 1
         obs = self._obs
         if obs is not None:
@@ -285,6 +417,8 @@ class Link:
         if self.up:
             return
         self.up = True
+        if self._port is not None:
+            self._port._batch = None  # re-evaluate batch eligibility
         obs = self._obs
         if obs is not None:
             obs.metrics.counter("failures.link_up").inc()

@@ -14,6 +14,24 @@ one of its outgoing links. It models:
   queue may be empty — this is what lets UnoCC keep physical queues at
   near-zero occupancy while still pacing inter-DC flows whose BDP exceeds
   any physical buffer (paper sections 3.2, 4.1.3).
+
+Steady-state FIFO work is **batch-advanced**: when no decision can change
+between a packet's enqueue and its serialization finish — coalesced link,
+no loss model, no PFC, no INT stamping, no diverted sink — the port
+computes the finish time at *enqueue* (exact integer arithmetic, identical
+to the per-packet path's) and hands the packet straight to the link's
+in-flight deque, so the engine never runs a per-packet finish callback.
+The pending finishes live in a drain *schedule* ``(finish_ps, size)``;
+occupancy/tx counters are settled lazily from it (every read goes through
+a settle), and each settled entry credits one engine event so
+``events_executed`` matches the reference path. Any boundary where a
+decision could change — PFC arming, ``divert()``, INT enablement, link
+failure or loss-model attach, a control frame racing the schedule —
+*rolls back*: unfinished packets return to the FIFO and re-serialize via
+the reference per-packet path, keeping behavior event-for-event
+identical. Set the module flag ``BATCH_DRAIN = False`` before
+constructing ports to force the reference path everywhere (the equality
+tests diff the two).
 """
 
 from __future__ import annotations
@@ -31,6 +49,11 @@ from repro.sim.units import gbps_to_bytes_per_ps
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.link import Link
+
+# Batch-advance escape hatch: evaluated on every (re)computation of a
+# port's batch eligibility, so tests flip it before building a topology
+# to force the reference one-callback-per-packet path.
+BATCH_DRAIN = True
 
 
 @dataclass(frozen=True)
@@ -162,6 +185,10 @@ class Port:
         "_red_max_th",
         "_red_span",
         "_tx_handle",
+        "_sched",
+        "_busy_until",
+        "_batch",
+        "_ser_cache",
         "pfc",
         "pfc_enabled",
         "_paused",
@@ -221,6 +248,18 @@ class Port:
         # The one perpetual serialization event: allocated on the first
         # transmission, re-armed (never re-allocated) for every later one.
         self._tx_handle = None
+        # Batch-advance state. _sched holds (finish_ps, size) for packets
+        # already committed to the link but whose serialization has not
+        # been settled into tx_bytes/bytes_queued yet; _busy_until is the
+        # last committed finish. _batch caches eligibility (None = stale,
+        # recompute on next enqueue). _ser_cache memoizes size -> ser_ps
+        # (flows use a handful of distinct sizes; the division is
+        # measurable per packet).
+        self._sched: deque = deque()
+        self._busy_until = 0
+        self._batch = None
+        self._ser_cache: dict = {}
+        link._port = self
         # PFC (lossless fabric) state. Disabled by default: the hot path
         # then costs one is-None / bool test per packet. configure_pfc()
         # arms the thresholds; ``pfc`` is the owning node's controller
@@ -264,7 +303,8 @@ class Port:
         registry.gauge(f"{base}.phantom_marked_pkts",
                        lambda: self.phantom_marked_pkts)
         registry.gauge(f"{base}.tx_bytes", lambda: self.tx_bytes)
-        registry.gauge(f"{base}.queued_pkts", lambda: len(self._fifo))
+        registry.gauge(f"{base}.queued_pkts",
+                       lambda: len(self._fifo) + len(self._sched))
         registry.gauge(f"{base}.queued_bytes", lambda: self.bytes_queued)
         registry.gauge(f"{base}.pause_frames_rx", lambda: self.pause_frames_rx)
         registry.gauge(f"{base}.paused_time_ps", lambda: self.paused_time_ps)
@@ -273,6 +313,12 @@ class Port:
         """Turn on INT stamping with HPCC's base-RTT reference ``T``."""
         if t_ref_ps <= 0:
             raise ValueError("INT reference time must be positive")
+        if self._sched:
+            # Packets not yet on the wire must be stamped at their finish
+            # times (the reference path stamps in _finish_tx).
+            self._rollback()
+        else:
+            self._batch = None
         self.int_t_ref_ps = t_ref_ps
 
     # -- marking ---------------------------------------------------------
@@ -299,6 +345,14 @@ class Port:
         topology wiring never calls this.
         """
         old = self._sink
+        if self._sched:
+            # Committed-but-unfinished packets re-serialize and reach the
+            # NEW sink at their finish times, exactly as the reference
+            # path's _finish_tx would; packets already on the wire keep
+            # propagating to the link's own sink.
+            self._rollback()
+        else:
+            self._batch = None
         self._sink = check_sink(sink, f"port {self.name}.divert")
         return old
 
@@ -309,6 +363,21 @@ class Port:
         now = self.sim.now
         ev = self._events
         size = pkt.size
+        sched = self._sched
+        if sched and sched[0][0] <= now:
+            # Settle finished serializations first (loop inlined from
+            # _settle — once per packet in steady state): the drop/RED/
+            # phantom decisions below must see exactly the occupancy the
+            # reference per-packet path would (its _finish_tx events for
+            # those packets fired before this enqueue).
+            bq = self.bytes_queued
+            n = 0
+            while sched and sched[0][0] <= now:
+                bq -= sched.popleft()[1]
+                n += 1
+            self.tx_bytes += self.bytes_queued - bq
+            self.bytes_queued = bq
+            self.sim._n_executed += n
         occupancy = self.bytes_queued
         if occupancy + size > self.capacity_bytes:
             self.drops += 1
@@ -354,8 +423,50 @@ class Port:
         if ev is not None and ev.wants("queue"):
             ev.emit("queue", "enqueue", t=now, port=self.name,
                     flow=pkt.flow_id, seq=pkt.seq, size=size)
-        self._fifo.append(pkt)
         self.bytes_queued = occupancy + size
+        batch = self._batch
+        if batch is None:
+            batch = self._refresh_batch()
+        if batch and not self._fifo:
+            # Batch-advance fast path: no decision can change between now
+            # and this packet's serialization finish, so commit the
+            # finish time immediately and hand the packet to the link's
+            # in-flight deque — no per-packet finish callback. The finish
+            # arithmetic is the same inlined ser-time as the classic path
+            # below, memoized per size (bit-identical by construction).
+            cache = self._ser_cache
+            try:
+                ser = cache[size]
+            except KeyError:
+                ser = round(size * 8000 / self._gbps)
+                if ser < 1:
+                    ser = 1
+                cache[size] = ser
+            start = self._busy_until
+            if start < now:
+                start = now
+            self._busy_until = finish = start + ser
+            sched.append((finish, size))
+            # Link._schedule inlined (one call per packet is measurable):
+            # commit straight into the link's in-flight deque and arm its
+            # drain if it is dark. Must stay behavior-identical to it.
+            link = self.link
+            sim = self.sim
+            seq = sim._seq = sim._seq + 1
+            q = link._inflight
+            q.append((finish + link.prop_ps, seq, pkt))
+            if not link._drain_armed:
+                link._drain_armed = True
+                t, s, _ = q[0]
+                handle = link._drain_handle
+                if handle is None:
+                    link._drain_handle = sim.at_seq(t, s, link._drain)
+                else:
+                    handle.time = t
+                    handle.fired = False
+                    heappush(sim._heap, (t, s, handle))
+            return True
+        self._fifo.append(pkt)
         if not self._busy and not self._paused:
             # (When paused, the packet stays held in the FIFO — not lost
             # — until resume() restarts the serializer; the port must
@@ -377,6 +488,7 @@ class Port:
                 # serialized packet makes the call overhead measurable.
                 sim._seq = seq = sim._seq + 1
                 handle.time = t = now + ser
+                handle.fired = False
                 heappush(sim._heap, (t, seq, handle))
         pfc = self.pfc
         if (pfc is not None and not self._xoff
@@ -384,6 +496,76 @@ class Port:
             self._xoff = True
             pfc.on_xoff(self)
         return True
+
+    def _settle(self, now: int) -> None:
+        """Retire drain-schedule entries whose serialization completed by
+        ``now``: move their bytes from queued to transmitted and credit
+        one engine event each (the _finish_tx callbacks the batch-advance
+        absorbed). Called from every occupancy read and from the link's
+        delivery drain, so observers always see reference-exact state."""
+        sched = self._sched
+        bq = self.bytes_queued
+        n = 0
+        while sched and sched[0][0] <= now:
+            bq -= sched.popleft()[1]
+            n += 1
+        if n:
+            self.tx_bytes += self.bytes_queued - bq
+            self.bytes_queued = bq
+            self.sim._n_executed += n
+
+    def _refresh_batch(self) -> bool:
+        """(Re)compute batch-advance eligibility. True only when nothing
+        can alter a packet's fate between enqueue and serialization
+        finish: coalesced clean up-link wired straight through (no
+        divert), no PFC, no INT stamping, not paused."""
+        link = self.link
+        ok = bool(
+            BATCH_DRAIN
+            and link._coalesce
+            and link.up
+            and link._loss_model is None
+            and link._sink is not None
+            and self._sink is link
+            and not self.pfc_enabled
+            and self.pfc is None
+            and self.int_t_ref_ps is None
+            and not self._paused
+        )
+        self._batch = ok
+        return ok
+
+    def _rollback(self) -> None:
+        """Leave batch mode: recall every committed packet whose
+        serialization has not finished, put them back at the FIFO head in
+        order, and arm the classic serializer at the (unchanged) finish
+        time of the in-progress head — from here on the reference
+        per-packet path runs, seeing exactly the state it would have."""
+        self._batch = None
+        sched = self._sched
+        if sched:
+            self._settle(self.sim.now)
+        if not sched:
+            self._busy_until = 0
+            return
+        head_finish = sched[0][0]
+        pkts = self.link._recall(len(sched))
+        fifo = self._fifo
+        if fifo:
+            raise RuntimeError(
+                f"port {self.name}: rollback with a non-empty FIFO "
+                "(batch/classic state mixed)"
+            )
+        fifo.extend(pkts)
+        sched.clear()
+        self._busy_until = 0
+        self._busy = True
+        sim = self.sim
+        tx = self._tx_handle
+        if tx is None:
+            self._tx_handle = sim.at(head_finish, self._finish_tx)
+        else:
+            sim.rearm(tx, head_finish)
 
     def _finish_tx(self) -> None:
         fifo = self._fifo
@@ -415,6 +597,7 @@ class Port:
             sim._seq = seq = sim._seq + 1
             handle = self._tx_handle
             handle.time = t = sim.now + ser
+            handle.fired = False
             heappush(sim._heap, (t, seq, handle))
         else:
             self._busy = False
@@ -454,6 +637,11 @@ class Port:
                 f"invalid PFC thresholds: xon={xon_frac} xoff={xoff_frac} "
                 "(need 0 < xon <= xoff <= 1)"
             )
+        if self._sched:
+            # Pause boundaries must be honored per packet from here on.
+            self._rollback()
+        else:
+            self._batch = None
         self.pfc_enabled = True
         self._xoff_bytes = xoff_frac * self.capacity_bytes
         self._xon_bytes = xon_frac * self.capacity_bytes
@@ -559,6 +747,7 @@ class Port:
             else:
                 sim._seq = seq = sim._seq + 1
                 tx.time = t = now + ser
+                tx.fired = False
                 heappush(sim._heap, (t, seq, tx))
         # A queue already above XOFF when the pause lifts must pause
         # upstream now, not on the next enqueue: it drains at line rate
@@ -576,6 +765,8 @@ class Port:
     # -- introspection ---------------------------------------------------
 
     def occupancy_bytes(self) -> int:
+        if self._sched:
+            self._settle(self.sim.now)
         return self.bytes_queued
 
     def phantom_occupancy(self) -> float:

@@ -169,15 +169,16 @@ class Switch(FailureDomain):
             return
         self.rx_pkts += 1
         pkt.hops += 1
-        choices = self.nexthops.get(pkt.dst)
-        if not choices:
+        try:
+            choices = self.nexthops[pkt.dst]
+        except KeyError:
             # A destination this switch has never heard of is a wiring
-            # bug; one it knows but currently cannot reach (every
-            # next-hop patched out after failures) is a routed drop.
-            if choices is None:
-                raise LookupError(
-                    f"switch {self.name} has no route to host {pkt.dst}"
-                )
+            # bug (an empty-but-known next-hop set below is a routed
+            # drop instead).
+            raise LookupError(
+                f"switch {self.name} has no route to host {pkt.dst}"
+            ) from None
+        if not choices:
             self.no_route_drops += 1
             obs = self.sim.obs
             if obs is not None:
@@ -191,24 +192,28 @@ class Switch(FailureDomain):
         n = len(choices)
         if n == 1:
             port = choices[0]
-        elif self.mode == "rps":
-            port = choices[self._rng.randrange(n)]
-            self.sprayed_pkts += 1
-        else:
+        elif self.mode != "rps":
             key = (pkt.src, pkt.dst, pkt.sport, pkt.dport)
             cache = self._hash_cache
-            idx = cache.get(key)
-            if idx is None:
+            try:
+                idx = cache[key]
+            except KeyError:
                 if len(cache) >= 65536:  # bound memory under sport churn
                     cache.clear()
                 idx = cache[key] = flow_hash(*key, self.salt)
             port = choices[idx % n]
             self.multipath_pkts += 1
+        else:
+            port = choices[self._rng.randrange(n)]
+            self.sprayed_pkts += 1
         qcn = self.qcn
         if (
             qcn is not None
             and pkt.kind == DATA
-            and port.bytes_queued > qcn.threshold_bytes
+            # occupancy_bytes(), not raw bytes_queued: a batch-advanced
+            # port settles finished serializations lazily, and the QCN
+            # decision must see the reference-exact occupancy.
+            and port.occupancy_bytes() > qcn.threshold_bytes
         ):
             self._maybe_send_cnp(pkt)
         port.receive(pkt)

@@ -165,6 +165,30 @@ class TestEngineProfiler:
         assert snap["sites"][name]["calls"] == 2
         assert snap["sites"][name]["wall_s"] == 0.5
         assert name in prof.report()
+        assert snap["top_sites"][0] == {
+            "site": name, "calls": 2, "wall_s": 0.5, "frac": 1.0}
+
+    def test_top_sites_ranked_across_merged_sims(self):
+        # The qualname histogram must rank the MERGED per-site sums, not
+        # echo the first simulator's ranking (merge_numeric keeps the
+        # first value for lists; collect() recomputes).
+        def slow():
+            pass
+
+        def fast():
+            pass
+
+        with TelemetryContext() as ctx:
+            for cost in (0.1, 0.4):  # slow dominates only after merging
+                sim = Simulator()
+                sim.obs.profile.account(fast, 0.2)
+                sim.obs.profile.account(slow, cost)
+                sim.obs.profile.add_wall(cost + 0.2)
+        merged = ctx.collect()
+        top = merged["profile"]["top_sites"]
+        assert [t["site"] for t in top[:2]] == [site_name(slow),
+                                               site_name(fast)]
+        assert top[0]["calls"] == 2 and top[0]["wall_s"] == pytest.approx(0.5)
 
     def test_profiled_loop_counts_every_event(self):
         sim = Simulator()

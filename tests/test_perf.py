@@ -12,6 +12,7 @@ import random
 import pytest
 
 import repro.sim.link as link_mod
+import repro.sim.queues as queues_mod
 from repro import obs
 from repro.experiments import fig1
 from repro.experiments.api import canonical_json
@@ -26,7 +27,8 @@ from repro.sim import packet as packet_mod
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.link import Link
-from repro.sim.packet import ACK, DATA, Packet, PacketPool
+from repro.sim.packet import ACK, DATA, Packet, PacketPool, SoAPacketPool
+from repro.sim.queues import Port
 from repro.sim.units import KIB, US
 from repro.workloads.alibaba_wan import ALIBABA_WAN_CDF
 from repro.workloads.generator import PoissonTraffic, TrafficConfig
@@ -98,17 +100,41 @@ class TestEngine:
         assert sim.peek_time() is None
 
     def test_compaction_drops_tombstones_and_preserves_order(self):
+        # Compaction triggers on the CANCEL that pushes tombstones to
+        # half the heap — scheduling never re-checks. The mass-cancel
+        # below therefore compacts (possibly repeatedly) mid-loop, and
+        # the heap ends with tombstones strictly under half.
         sim = Simulator()
         fired = []
         handles = [sim.at(10_000 + i, fired.append, i) for i in range(1000)]
         for handle in handles[:900]:
             handle.cancel()
-        assert sim.pending == 1000 and sim.live_pending == 100
-        sim.at(50_000, fired.append, 1000)  # schedule triggers compaction
         assert sim.compactions >= 1
-        assert sim.pending == sim.live_pending == 101
+        assert sim.live_pending == 100
+        assert sim.pending - sim.live_pending < sim.pending / 2
+        sim.at(50_000, fired.append, 1000)
         sim.run()
         assert fired == list(range(900, 1000)) + [1000]
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.at(10, fired.append, 1)
+        sim.run()
+        assert fired == [1] and handle.fired
+        before = sim._n_cancelled
+        handle.cancel()  # late cancel: timer already went off
+        assert not handle.cancelled
+        assert sim._n_cancelled == before
+        sim.rearm(handle, 20)  # perpetual handles stay re-armable
+        sim.run()
+        assert fired == [1, 1]
+
+    def test_credit_events_counts_as_executed(self):
+        sim = Simulator()
+        sim.at(10, lambda: sim.credit_events(5))
+        sim.run()
+        assert sim.events_executed == 6
 
     def test_run_until_pushes_back_future_event(self):
         sim = Simulator()
@@ -214,11 +240,14 @@ class TestLinkCoalescing:
 # ----------------------------------------------------------------------
 
 
-def _mixed_traffic_summary(seed: int):
+def _mixed_traffic_summary(seed: int, poison: bool = False):
     """A small two-DC Poisson run reduced to a canonical JSON summary."""
     sim = Simulator()
     params = SCALE.params()
     topo = build_multidc(sim, "uno", params, SCALE, seed=seed)
+    if poison:
+        for host in topo.all_hosts():
+            host.enable_packet_pool(poison=True)
     traffic = PoissonTraffic(
         topo,
         TrafficConfig(
@@ -261,6 +290,150 @@ class TestDeterminism:
 
 
 # ----------------------------------------------------------------------
+# batch-advance: adversarial boundary equality vs the reference path
+# ----------------------------------------------------------------------
+
+
+class _TraceSink:
+    """Records (arrival time, seq, ecn): the full observable delivery."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append((self.sim.now, pkt.seq, pkt.ecn))
+
+
+def _burst_trace(batch, actions=(), npkts=40, gap_ps=49_991,
+                 capacity=64_000, size=1500):
+    """Drive one port+link with a paced burst that outruns the 120 ns/pkt
+    serializer, so a queue builds mid-burst. ``actions`` fire mid-burst
+    against the live port/link — each one a decision boundary the batch
+    path must split or roll back at. Returns every observable: the
+    delivery trace, the port counters, and the executed-event count.
+
+    The inter-arrival gap is coprime to the 120,000 ps serialization
+    time so no enqueue lands on the exact picosecond of a finish: at
+    such a tie the relative order is a heap-seq coin flip that the batch
+    path resolves differently from the reference (the sanctioned
+    divergence documented in DESIGN.md "Performance"), which is not the
+    behavior under test here."""
+    old = queues_mod.BATCH_DRAIN
+    queues_mod.BATCH_DRAIN = batch
+    try:
+        sim = Simulator()
+        link = Link(sim, 100.0, prop_ps=5 * US)
+        sink = _TraceSink(sim)
+        link.connect(sink)
+        port = Port(sim, link, capacity_bytes=capacity,
+                    rng=random.Random(11))
+        state = {"sim": sim, "port": port, "link": link, "sink": sink}
+        for i in range(npkts):
+            sim.at(1_000 + i * gap_ps, port.enqueue, _data(i, size))
+        for t, fn in actions:
+            sim.at(t, fn, state)
+        sim.run()
+        return (
+            sink.got,
+            dict(tx_bytes=port.tx_bytes, drops=port.drops,
+                 marked=port.marked_pkts, red=port.red_marked_pkts,
+                 enqueued=port.enqueued_pkts,
+                 queued=port.occupancy_bytes(),
+                 delivered=link.delivered_pkts),
+            sim.events_executed,
+        )
+    finally:
+        queues_mod.BATCH_DRAIN = old
+
+
+def _pfc_pause(state):
+    # Arming PFC mid-burst rolls back the live drain schedule; the
+    # immediate indefinite pause then freezes the classic serializer at
+    # the next packet boundary.
+    state["port"].configure_pfc(0.9, 0.4)
+    state["port"].pause(0)
+
+
+def _pfc_resume(state):
+    state["port"].resume()
+
+
+def _divert_mid_burst(state):
+    # The diverted sink shares the trace list: arrivals from both sinks
+    # interleave in execution order, which must match the reference.
+    sink2 = _TraceSink(state["sim"])
+    sink2.got = state["sink"].got
+    state["port"].divert(sink2)
+
+
+def _fail_mid_burst(state):
+    state["link"].fail()
+
+
+class TestBatchAdvance:
+    """The batch-advanced drain must be event-for-event identical to the
+    reference one-callback-per-packet path (BATCH_DRAIN = False) at every
+    adversarial decision boundary."""
+
+    def test_red_crossed_mid_burst(self):
+        # capacity 24 KB: the burst walks occupancy through RED's
+        # probabilistic band, into always-mark, and over the tail-drop
+        # line — every enqueue-time decision, same RNG draw order.
+        batch = _burst_trace(True, capacity=24_000)
+        ref = _burst_trace(False, capacity=24_000)
+        assert batch == ref
+        assert batch[1]["marked"] > 0 and batch[1]["drops"] > 0
+
+    def test_pfc_pause_mid_burst(self):
+        actions = [(400_007, _pfc_pause), (1_500_013, _pfc_resume)]
+        batch = _burst_trace(True, actions=actions)
+        ref = _burst_trace(False, actions=actions)
+        assert batch == ref
+        assert batch[1]["delivered"] == 40
+
+    def test_divert_mid_burst(self):
+        actions = [(500_003, _divert_mid_burst)]
+        batch = _burst_trace(True, actions=actions)
+        ref = _burst_trace(False, actions=actions)
+        assert batch == ref
+        # Split burst: some packets crossed the wire, the rest reached
+        # the diverted sink at their (unchanged) serialization finishes.
+        assert 0 < batch[1]["delivered"] < 40
+
+    def test_link_fail_mid_burst(self):
+        actions = [(500_003, _fail_mid_burst)]
+        batch = _burst_trace(True, actions=actions)
+        ref = _burst_trace(False, actions=actions)
+        assert batch == ref
+
+    def test_mixed_traffic_matches_reference(self):
+        old = queues_mod.BATCH_DRAIN
+        try:
+            queues_mod.BATCH_DRAIN = True
+            batched = _mixed_traffic_summary(71)
+            queues_mod.BATCH_DRAIN = False
+            reference = _mixed_traffic_summary(71)
+        finally:
+            queues_mod.BATCH_DRAIN = old
+        assert batched == reference
+
+    def test_mixed_traffic_matches_reference_poison_pool(self):
+        # Poison pooling on top: a batch path holding a released alias
+        # (or releasing a committed packet early) trips the poison check
+        # instead of silently corrupting the run.
+        old = queues_mod.BATCH_DRAIN
+        try:
+            queues_mod.BATCH_DRAIN = True
+            batched = _mixed_traffic_summary(71, poison=True)
+            queues_mod.BATCH_DRAIN = False
+            reference = _mixed_traffic_summary(71, poison=True)
+        finally:
+            queues_mod.BATCH_DRAIN = old
+        assert batched == reference
+
+
+# ----------------------------------------------------------------------
 # packet pooling
 # ----------------------------------------------------------------------
 
@@ -298,6 +471,9 @@ class TestPacketPool:
         assert isinstance(pool, PacketPool) and not pool.poison
         monkeypatch.setattr(packet_mod, "_POOL_MODE", "poison")
         assert packet_mod.default_pool().poison
+        if packet_mod._np is not None:
+            monkeypatch.setattr(packet_mod, "_POOL_MODE", "soa")
+            assert isinstance(packet_mod.default_pool(), SoAPacketPool)
 
     def test_end_to_end_poison_run_recycles(self):
         """A full dumbbell transfer under poison pooling: completes, and
@@ -333,6 +509,88 @@ class TestPacketPool:
                             queue_bytes=256 * KIB, seed=3)
             for host in list(topo.senders) + list(topo.receivers):
                 host.pool = PacketPool(poison=True) if pooled else None
+            senders = [
+                start_flow(sim, topo.net, DCTCP(), s, r, 256 * KIB,
+                           base_rtt_ps=8 * US, seed=i)
+                for i, (s, r) in enumerate(
+                    zip(topo.senders, topo.receivers))
+            ]
+            sim.run()
+            return [(s.stats.fct_ps, s.stats.retransmissions)
+                    for s in senders]
+
+        assert fcts(pooled=True) == fcts(pooled=False)
+
+
+# ----------------------------------------------------------------------
+# struct-of-arrays packet backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(packet_mod._np is None, reason="numpy unavailable")
+class TestSoAPacketPool:
+    def test_view_round_trips_every_field(self):
+        pool = SoAPacketPool(capacity=2)
+        pkt = pool.acquire(DATA, 7, src=1, dst=2, seq=3, size=1500,
+                           sport=4, dport=5, payload=1400)
+        assert (pkt.kind, pkt.flow_id, pkt.src, pkt.dst, pkt.sport,
+                pkt.dport, pkt.seq, pkt.size, pkt.payload) == (
+            DATA, 7, 1, 2, 4, 5, 3, 1500, 1400)
+        assert pkt.block_id is None and pkt.nack_block is None
+        pkt.ecn = True
+        pkt.hops += 2
+        pkt.block_id = 9
+        pkt.int_util = 0.5
+        assert pkt.ecn is True and pkt.hops == 2 and pkt.block_id == 9
+        # Native Python scalars only: a leaked numpy int64 overflows the
+        # 64-bit masking in the ECMP hash.
+        assert type(pkt.seq) is int and type(pkt.ecn) is bool
+        assert type(pkt.int_util) is float
+
+    def test_store_growth_keeps_views_valid(self):
+        pool = SoAPacketPool(capacity=2)
+        pkts = [pool.acquire(DATA, i, src=0, dst=1, seq=i, size=100)
+                for i in range(20)]
+        assert pool.store.capacity >= 20
+        assert [p.flow_id for p in pkts] == list(range(20))
+
+    def test_release_recycles_row_and_view(self):
+        pool = SoAPacketPool()
+        pkt = pool.acquire(DATA, 1, src=2, dst=3, seq=0, size=100)
+        pkt.ecn = True
+        pkt.block_id = 4
+        pool.release(pkt)
+        again = pool.acquire(ACK, 1, src=3, dst=2, seq=0, size=64)
+        assert again is pkt  # wrapper AND row recycled
+        assert again.kind == ACK and again.ecn is False
+        assert again.block_id is None
+        assert pool.stats()["recycled"] == 1
+
+    def test_double_release_raises(self):
+        pool = SoAPacketPool()
+        pkt = pool.acquire(DATA, 1, src=2, dst=3, seq=0, size=100)
+        pool.release(pkt)
+        with pytest.raises(RuntimeError, match="double release"):
+            pool.release(pkt)
+
+    def test_release_ignores_plain_control_packets(self):
+        from repro.sim.packet import make_cnp
+
+        pool = SoAPacketPool()
+        pool.release(make_cnp(1, 2, 3))  # no row to reclaim: dropped
+        assert pool.stats()["released"] == 0
+
+    def test_pooled_results_match_unpooled(self):
+        from repro.topology.simple import dumbbell
+        from repro.transport.dctcp import DCTCP
+        from repro.transport.base import start_flow
+
+        def fcts(pooled: bool):
+            sim = Simulator()
+            topo = dumbbell(sim, n_pairs=2, gbps=25.0, prop_ps=1 * US,
+                            queue_bytes=256 * KIB, seed=3)
+            for host in list(topo.senders) + list(topo.receivers):
+                host.pool = SoAPacketPool() if pooled else None
             senders = [
                 start_flow(sim, topo.net, DCTCP(), s, r, 256 * KIB,
                            base_rtt_ps=8 * US, seed=i)
